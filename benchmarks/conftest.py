@@ -1,0 +1,73 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper's evaluation on
+the simulated GPU, prints the rows (run with ``-s`` to see them), records
+them in ``benchmark.extra_info`` and writes a CSV under
+``benchmarks/results/``.  Assertions pin the paper's *qualitative* shape
+(who wins, roughly by how much); absolute numbers are simulator units.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.sparse import AttentionMapping, kv_from_page_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def make_paged_mapping(kv_lens, qo_lens, page_size=16, causal=True):
+    """Lay requests out contiguously in a fresh page pool."""
+    kv_lens = [int(x) for x in kv_lens]
+    qo_lens = [int(x) for x in qo_lens]
+    pool = sum(-(-l // page_size) for l in kv_lens)
+    pages, c = [], 0
+    for l in kv_lens:
+        n = -(-l // page_size)
+        pages.append(np.arange(c, c + n))
+        c += n
+    kv = kv_from_page_table(pages, kv_lens, page_size, pool)
+    qo_indptr = np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64)
+    return AttentionMapping(qo_indptr, kv, causal=causal), pool * page_size
+
+
+def emit_table(name: str, header: Sequence[str], rows: List[Sequence], benchmark=None):
+    """Print a figure table, save it as CSV, and attach it to the benchmark."""
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(header)
+    ]
+    print(f"\n=== {name} ===")
+    print("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  ".join(_fmt(v).rjust(w) for v, w in zip(r, widths)))
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.csv"), "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        writer.writerows([[_fmt(v) for v in r] for r in rows])
+
+    if benchmark is not None:
+        benchmark.extra_info[name] = [dict(zip(header, map(_fmt, r))) for r in rows]
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

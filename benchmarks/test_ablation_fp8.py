@@ -1,0 +1,53 @@
+"""Ablation: fp8 KV-cache (paper Appendix F).
+
+Mixed-precision attention stores K/V in fp8 e4m3 while Q/O stay fp16,
+halving KV traffic.  Decode is KV-bandwidth-bound, so long-context decode
+should approach a 2× step-time reduction; accuracy is covered by
+``tests/test_variants_fp8.py``.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit_table, make_paged_mapping
+from repro import A100_40G, BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, VANILLA
+from repro.utils.dtypes import StorageDType
+
+HEADS = HeadConfig(32, 8, 128)
+BATCH = 16
+
+
+def makespan(kv_len, dtype):
+    mapping, _ = make_paged_mapping([kv_len] * BATCH, [1] * BATCH)
+    w = BatchAttentionWrapper(
+        VANILLA, HEADS, WorkspaceBuffer(1 << 29), A100_40G,
+        avg_qo_len=1, kv_dtype=dtype,
+    )
+    w.plan(mapping)
+    _, _, report = w.run(None, compute=False)
+    return report.makespan
+
+
+def run_experiment():
+    rows = []
+    for kv_len in (512, 2048, 8192, 32768):
+        f16 = makespan(kv_len, StorageDType.FP16)
+        f8 = makespan(kv_len, StorageDType.FP8_E4M3)
+        rows.append((kv_len, f16 * 1e6, f8 * 1e6, f16 / f8))
+    return rows
+
+
+def test_ablation_fp8(once, benchmark):
+    rows = once(run_experiment)
+    emit_table(
+        "ablation_fp8_kv",
+        ["kv_len", "fp16_us", "fp8_us", "speedup"],
+        rows,
+        benchmark,
+    )
+    speedups = {r[0]: r[3] for r in rows}
+    # The speedup grows with context length toward the 2× traffic bound.
+    assert speedups[32768] > speedups[512]
+    assert speedups[32768] > 1.6
+    assert all(s < 2.1 for s in speedups.values())

@@ -1,0 +1,61 @@
+"""Ablation: GQA head-group fusion (paper Appendix A, Figure 11).
+
+With fusion, one shared-memory load of a KV head's tile serves all ``g``
+query heads of its group; without it, every query head gathers the same KV
+separately.  Decode traffic should drop by ≈ the group size.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit_table, make_paged_mapping
+from repro import A100_40G, BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, VANILLA
+
+BATCH = 16
+KV_LEN = 2048
+NUM_QO_HEADS = 32
+
+
+def run_one(group_size, fuse):
+    heads = HeadConfig(NUM_QO_HEADS, NUM_QO_HEADS // group_size, 128)
+    mapping, _ = make_paged_mapping([KV_LEN] * BATCH, [1] * BATCH)
+    w = BatchAttentionWrapper(
+        VANILLA, heads, WorkspaceBuffer(1 << 29), A100_40G,
+        avg_qo_len=1, fuse_head_groups=fuse,
+    )
+    w.plan(mapping)
+    _, _, report = w.run(None, compute=False)
+    return report
+
+
+def run_experiment():
+    rows = []
+    for g in (1, 2, 4, 8):
+        fused = run_one(g, True)
+        unfused = run_one(g, False)
+        rows.append(
+            (g, fused.makespan * 1e6, unfused.makespan * 1e6,
+             unfused.total_bytes / fused.total_bytes,
+             unfused.makespan / fused.makespan)
+        )
+    return rows
+
+
+def test_ablation_gqa_fusion(once, benchmark):
+    rows = once(run_experiment)
+    emit_table(
+        "ablation_gqa_fusion",
+        ["group_size", "fused_us", "unfused_us", "traffic_ratio", "speedup"],
+        rows,
+        benchmark,
+    )
+    by = {r[0]: r for r in rows}
+    # MHA (g=1): fusion is a no-op.
+    assert by[1][4] == pytest.approx(1.0, rel=0.02)
+    # KV traffic scales with the group size when fusion is off.
+    for g in (2, 4, 8):
+        assert by[g][3] > 0.8 * g
+    # And the decode step gets faster with fusion, increasingly with g.
+    assert by[4][4] > 1.5
+    assert by[8][4] > by[4][4] > by[2][4]

@@ -1,0 +1,82 @@
+"""Ablation: SM partitioning for kernel overlap (paper Appendix E).
+
+Nanoflow overlaps GEMM, attention and communication by assigning each a
+fixed SM budget; FlashInfer supports this by taking the SM count through
+the plan path and balancing tiles over the restricted grid.  This ablation
+co-schedules a decode-attention kernel with a compute-bound GEMM: serial
+execution uses all SMs for each in turn; overlapped execution gives each a
+partition and runs them concurrently.
+
+Expected shape: when the two kernels stress *different* resources,
+overlap wins — bandwidth-bound decode attention saturates HBM from a small
+SM partition, so handing the remaining SMs to the compute-bound GEMM
+shortens the step even though neither kernel got faster.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit_table, make_paged_mapping
+from repro import A100_40G, BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, VANILLA
+from repro.gpu import PersistentKernelExecutor, TileCost
+
+HEADS = HeadConfig(32, 8, 128)
+GPU = A100_40G
+BATCH = 64
+KV_LEN = 4096
+
+
+def attention_time(sm_limit):
+    mapping, _ = make_paged_mapping([KV_LEN] * BATCH, [1] * BATCH)
+    w = BatchAttentionWrapper(
+        VANILLA, HEADS, WorkspaceBuffer(1 << 30), GPU, avg_qo_len=1,
+        sm_limit=sm_limit,
+    )
+    w.plan(mapping)
+    _, _, report = w.run(None, compute=False)
+    return report.makespan
+
+
+def gemm_time(num_sms, flops=2e11):
+    """A compute-bound GEMM slice on ``num_sms`` SMs (e.g. the MLP)."""
+    exe = PersistentKernelExecutor(GPU)
+    per_sm = TileCost(flops=flops / num_sms, padded_flops=flops / num_sms,
+                      bytes_read=1e6 / num_sms)
+    return exe.run_persistent([[per_sm] for _ in range(num_sms)]).makespan
+
+
+def run_experiment():
+    full = GPU.num_sms
+    rows = []
+    serial = attention_time(full) + gemm_time(full)
+    rows.append(("serial", full, full, attention_time(full) * 1e6,
+                 gemm_time(full) * 1e6, serial * 1e6))
+    for attn_sms in (27, 54, 81):
+        gemm_sms = full - attn_sms
+        a = attention_time(attn_sms)
+        g = gemm_time(gemm_sms)
+        overlapped = max(a, g)
+        rows.append((f"overlap_{attn_sms}sm", attn_sms, gemm_sms,
+                     a * 1e6, g * 1e6, overlapped * 1e6))
+    return rows
+
+
+def test_ablation_sm_overlap(once, benchmark):
+    rows = once(run_experiment)
+    emit_table(
+        "ablation_sm_overlap",
+        ["config", "attn_sms", "gemm_sms", "attn_us", "gemm_us", "step_us"],
+        rows,
+        benchmark,
+    )
+    by = {r[0]: r for r in rows}
+    serial = by["serial"][5]
+    best = min(r[5] for r in rows[1:])
+    # Some partition beats serial execution (the Appendix-E payoff).
+    assert best < 0.9 * serial
+    # The enabler: bandwidth-bound decode attention barely slows on a
+    # quarter of the SMs (27 SMs already saturate HBM), freeing the rest
+    # for the compute-bound GEMM.
+    assert by["overlap_27sm"][3] < 1.1 * by["serial"][3]
+    assert by["overlap_27sm"][4] < by["overlap_54sm"][4]

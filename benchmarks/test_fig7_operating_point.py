@@ -1,0 +1,81 @@
+"""Figure 7 methodology: max sustainable rate under a latency SLO.
+
+The paper fixes the operating point by "adjusting the request rate to
+maintain P99 TTFT below 200ms".  This benchmark runs that adjustment (the
+bisection in ``repro.serving.tuning``) for the FlashInfer and Triton
+backends on Llama-3.1-8B/ShareGPT with a combined SLO — the paper's P99
+TTFT < 200 ms plus a median ITL ceiling.  (In this engine TTFT alone is
+prefill/GEMM-bound and thus backend-independent; the ITL term is where
+the attention backend shows, so a pure-TTFT SLO would not discriminate.)
+
+Shape claim: the faster attention backend sustains a strictly higher
+request rate under the same SLO — the serving-capacity view of the same
+gap Figure 7 shows as latency.
+"""
+
+import pytest
+
+from conftest import emit_table
+from repro.core import HeadConfig
+from repro.gpu import H100_80G
+from repro.serving import (
+    EngineConfig,
+    FlashInferBackend,
+    LLAMA_3_1_8B,
+    ServingEngine,
+    TritonBackend,
+    find_max_rate,
+    sharegpt_workload,
+)
+
+MODEL = LLAMA_3_1_8B
+HEADS = HeadConfig(MODEL.num_qo_heads, MODEL.num_kv_heads, MODEL.head_dim)
+P99_TTFT_LIMIT = 0.2
+MEDIAN_ITL_LIMIT = 0.008
+NUM_REQUESTS = 300
+
+
+def slo(metrics) -> bool:
+    return (
+        metrics.p99_ttft() <= P99_TTFT_LIMIT
+        and metrics.median_itl() <= MEDIAN_ITL_LIMIT
+    )
+
+
+def run_experiment():
+    rows = []
+    for make in (FlashInferBackend, TritonBackend):
+        def run_at(rate: float):
+            backend = make(HEADS, H100_80G)
+            engine = ServingEngine(
+                MODEL, backend, H100_80G, EngineConfig(max_running=512)
+            )
+            return engine.run(sharegpt_workload(NUM_REQUESTS, rate, seed=0))
+
+        op = find_max_rate(
+            run_at, lo=25, hi=2000, tolerance=0.15, max_iters=6,
+            constraint=slo,
+        )
+        s = op.metrics.summary()
+        rows.append(
+            (make(HEADS, H100_80G).name, op.rate, s["p99_ttft"] * 1e3,
+             s["median_itl"] * 1e3, s["throughput_tok_s"])
+        )
+    return rows
+
+
+def test_fig7_operating_point(once, benchmark):
+    rows = once(run_experiment)
+    emit_table(
+        "fig7_operating_point",
+        ["backend", "max_rate_req_s", "p99_ttft_ms", "median_itl_ms", "tokens_per_s"],
+        rows,
+        benchmark,
+    )
+    by = {r[0]: r for r in rows}
+    # Both operating points respect the SLO.
+    for name in ("flashinfer", "triton"):
+        assert by[name][2] <= P99_TTFT_LIMIT * 1e3 * 1.02
+        assert by[name][3] <= MEDIAN_ITL_LIMIT * 1e3 * 1.02
+    # FlashInfer sustains a higher rate under the same SLO.
+    assert by["flashinfer"][1] > 1.1 * by["triton"][1]

@@ -1,0 +1,136 @@
+"""Figure 8: kernel performance under input dynamism (paper §4.2).
+
+Batch size 16; sequence length distributions constant(1024),
+uniform(512–1024) and Zipf-skewed (average 1024); causal prefill.  Reports
+achieved bandwidth utilization (decode) and FLOPs utilization (prefill) for
+FlashInfer vs the FlashAttention2/3 library baselines.
+
+Paper shape: FlashInfer significantly outperforms FA under uniform and
+skewed distributions (load-balanced scheduler) and outperforms FA2 on
+decode everywhere (tile-size selection); utilization figures use the
+workload's useful traffic/FLOPs over the kernel makespan.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit_table, make_paged_mapping
+from repro import A100_40G, BatchAttentionWrapper, WorkspaceBuffer
+from repro.baselines import FlashAttentionBaseline
+from repro.core import HeadConfig, VANILLA
+from repro.serving import constant_lengths, uniform_lengths, zipf_lengths
+
+HEADS = HeadConfig(32, 32, 128)
+BATCH = 16
+GPU = A100_40G
+TRIALS = 8  # random draws per distribution; FA's tail depends on batch order
+
+
+def distributions(seed):
+    return [
+        ("constant", constant_lengths(BATCH, 1024)),
+        ("uniform", uniform_lengths(BATCH, 512, 1024, seed=seed)),
+        ("zipf", zipf_lengths(BATCH, 1024, seed=seed, a=1.5)),
+    ]
+
+
+def useful_decode_bytes(kv_lens):
+    """Q + KV reads + O writes for a decode step, fp16."""
+    d, hq, hkv = HEADS.head_dim, HEADS.num_qo_heads, HEADS.num_kv_heads
+    kv = int(np.sum(kv_lens)) * hkv * d * 2 * 2
+    qo = BATCH * hq * d * 2 * 2
+    return kv + qo
+
+
+def useful_prefill_flops(lens):
+    """Causal attention FLOPs: 4·d per live (q, kv) position pair."""
+    lens = np.asarray(lens, dtype=np.float64)
+    pairs = (lens * (lens + 1) / 2).sum()
+    return 4.0 * HEADS.head_dim * pairs * HEADS.num_qo_heads
+
+
+def flashinfer_makespan(kv_lens, qo_lens, avg_qo):
+    mapping, _ = make_paged_mapping(kv_lens, qo_lens)
+    w = BatchAttentionWrapper(
+        VANILLA, HEADS, WorkspaceBuffer(1 << 29), GPU, avg_qo_len=avg_qo
+    )
+    w.plan(mapping)
+    _, _, report = w.run(None, compute=False)
+    return report.makespan
+
+
+def fa_makespan(kv_lens, qo_lens, version, decode, rng):
+    # Random batch order: the library has no cross-request balancing, so its
+    # tail depends on where the heavy requests land.
+    order = rng.permutation(len(kv_lens))
+    mapping, _ = make_paged_mapping(
+        np.asarray(kv_lens)[order], np.asarray(qo_lens)[order]
+    )
+    fa = FlashAttentionBaseline(HEADS, GPU, version=version)
+    _, report = fa.run(mapping, decode=decode, sparse_gather=False)
+    return report.makespan
+
+
+def run_experiment():
+    rows = []
+    rng = np.random.default_rng(42)
+    for phase in ("decode", "prefill"):
+        for seed in range(TRIALS):
+            for dist, lens in distributions(seed):
+                qo = [1] * BATCH if phase == "decode" else lens
+                avg_qo = 1 if phase == "decode" else float(np.mean(lens))
+                fi = flashinfer_makespan(lens, qo, avg_qo)
+                fa2 = fa_makespan(lens, qo, "fa2", phase == "decode", rng)
+                fa3 = fa_makespan(lens, qo, "fa3", phase == "decode", rng)
+                if phase == "decode":
+                    useful = useful_decode_bytes(lens)
+                    peak = GPU.peak_bandwidth_bytes
+                else:
+                    useful = useful_prefill_flops(lens)
+                    peak = GPU.peak_fp16_flops
+                rows.append(
+                    (phase, dist, seed, useful / fi / peak, useful / fa2 / peak,
+                     useful / fa3 / peak)
+                )
+    return rows
+
+
+def summarize(rows):
+    out = []
+    for phase in ("decode", "prefill"):
+        for dist in ("constant", "uniform", "zipf"):
+            sel = [r for r in rows if r[0] == phase and r[1] == dist]
+            fi = float(np.mean([r[3] for r in sel]))
+            fa2 = float(np.mean([r[4] for r in sel]))
+            fa3 = float(np.mean([r[5] for r in sel]))
+            metric = "BW util" if phase == "decode" else "FLOPs util"
+            out.append((phase, dist, metric, fi, fa2, fa3))
+    return out
+
+
+def test_fig8_kernel_dynamism(once, benchmark):
+    rows = once(run_experiment)
+    table = summarize(rows)
+    emit_table(
+        "fig8_kernel_dynamism",
+        ["phase", "distribution", "metric", "flashinfer", "fa2", "fa3"],
+        table,
+        benchmark,
+    )
+    by = {(r[0], r[1]): r for r in table}
+
+    # Decode: FlashInfer beats FA2 everywhere (tile-size selection), and the
+    # gap widens with skew (load balancing).
+    for dist in ("constant", "uniform", "zipf"):
+        phase, _, _, fi, fa2, fa3 = by[("decode", dist)]
+        assert fi > fa2, f"decode/{dist}: FlashInfer {fi:.3f} <= FA2 {fa2:.3f}"
+    assert by[("decode", "zipf")][3] > 1.05 * by[("decode", "zipf")][4]
+
+    # Prefill: FlashInfer at least matches FA everywhere.  (Most of the
+    # paper's prefill gap comes from kernel-side effects; the scheduling
+    # component reproduced here is small because prefill has thousands of
+    # blocks to balance — see EXPERIMENTS.md.)
+    for dist in ("constant", "uniform", "zipf"):
+        _, _, _, fi, fa2, fa3 = by[("prefill", dist)]
+        assert fi > 0.97 * fa2
+        assert fi > 0.97 * fa3

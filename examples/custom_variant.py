@@ -1,0 +1,75 @@
+"""Custom attention variants via the JIT compiler (paper §3.2.3, Figure 5).
+
+Reproduces the paper's worked example — FlashSigmoid — by declaring the
+variant's functors and extra parameters, then inspecting the specialized
+kernel the JIT compiler generates.  Also shows a Gemma-2-style soft-cap
+variant and a fused-RoPE variant ("merely 20 additional lines", §4.3).
+
+Run:  python examples/custom_variant.py
+"""
+
+import numpy as np
+
+from repro import BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import AttentionVariant, HeadConfig, KernelTraits, ParamDecl, get_kernel
+from repro.kvcache import PagedKVCache
+from repro.sparse import AttentionMapping
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- Figure 5: FlashSigmoid as a variant spec --------------------------
+    flash_sigmoid = AttentionVariant(
+        name="flash_sigmoid",
+        params=(ParamDecl("scale", default=1.0), ParamDecl("bias", default=0.0)),
+        logits_transform="1.0 / (1.0 + np.exp(-(logits * params.scale + params.bias)))",
+        use_softmax=False,  # sigmoid scoring: states compose by summation
+    )
+
+    kernel = get_kernel(flash_sigmoid, KernelTraits(head_dim=32))
+    print("--- generated kernel source (specialized, softmax compiled out) ---")
+    print("\n".join(kernel.source.splitlines()[:12]))
+    print("    ...")
+    sum_lines = [l for l in kernel.source.splitlines() if "weights" in l]
+    print("\n".join(sum_lines))
+    print()
+
+    # --- run it end to end -------------------------------------------------
+    heads = HeadConfig(4, 2, 32)
+    cache = PagedKVCache(64, 8, 2, 32)
+    sid = cache.new_seq()
+    cache.append(sid, rng.standard_normal((100, 2, 32)), rng.standard_normal((100, 2, 32)))
+    mapping = AttentionMapping(np.array([0, 1]), cache.layout([sid]), causal=True)
+
+    wrapper = BatchAttentionWrapper(
+        flash_sigmoid, heads, WorkspaceBuffer(64 * 1024 * 1024), avg_qo_len=1
+    )
+    wrapper.plan(mapping, params={"scale": 0.5, "bias": -1.0})
+    q = rng.standard_normal((1, 4, 32))
+    out, _, _ = wrapper.run(q, cache.k_pool, cache.v_pool)
+    print(f"FlashSigmoid decode output norm: {np.linalg.norm(out):.4f}")
+
+    # --- two more variants, a couple of lines each --------------------------
+    softcap = AttentionVariant(
+        name="gemma_softcap",
+        params=(ParamDecl("cap", default=30.0),),
+        logits_transform="params.cap * np.tanh(logits / params.cap)",
+    )
+    from repro.variants import make_fused_rope
+
+    for variant in (softcap, make_fused_rope()):
+        w = BatchAttentionWrapper(
+            variant, heads, WorkspaceBuffer(64 * 1024 * 1024), avg_qo_len=1
+        )
+        w.plan(mapping)
+        out, _, _ = w.run(q, cache.k_pool, cache.v_pool)
+        print(f"{variant.name:>14s} decode output norm: {np.linalg.norm(out):.4f}")
+
+    from repro.core import cache_info
+
+    print(f"JIT cache: {cache_info()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: batched decode attention over a paged KV cache.
+
+Mirrors the paper's core workflow (§3.4): store per-request KV in a paged
+pool, export its page table as the block-sparse attention structure, plan a
+load-balanced schedule, and run the JIT-compiled kernel.  The result is
+checked against a dense softmax oracle, and the simulated-GPU report shows
+the load balance the scheduler achieved.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BatchAttentionWrapper, WorkspaceBuffer, AttentionMapping, A100_40G
+from repro.core import HeadConfig, VANILLA, reference_attention
+from repro.kvcache import PagedKVCache
+from repro.utils.dtypes import StorageDType, round_to_storage
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # Llama-8B-like head geometry (GQA group size 4), small head_dim for speed.
+    heads = HeadConfig(num_qo_heads=8, num_kv_heads=2, head_dim=64)
+
+    # 1. A paged KV cache, page size 16 — four requests with varied history.
+    cache = PagedKVCache(num_pages=512, page_size=16, num_kv_heads=2, head_dim=64)
+    kv_lens = [700, 1300, 90, 2500]
+    seqs = []
+    for n in kv_lens:
+        sid = cache.new_seq()
+        cache.append(sid, rng.standard_normal((n, 2, 64)), rng.standard_normal((n, 2, 64)))
+        seqs.append(sid)
+    print(f"cache: {cache}")
+
+    # 2. The page table *is* the block-sparse attention structure (§3.1.1).
+    mapping = AttentionMapping(
+        qo_indptr=np.arange(len(seqs) + 1),  # one decode query per request
+        kv=cache.layout(seqs),
+        causal=True,
+    )
+
+    # 3. Plan + run (Listing 1).  The wrapper JIT-compiles the kernel at
+    #    construction and the scheduler balances work across CTAs per step.
+    workspace = WorkspaceBuffer(256 * 1024 * 1024)
+    wrapper = BatchAttentionWrapper(VANILLA, heads, workspace, A100_40G, avg_qo_len=1)
+    plan = wrapper.plan(mapping)
+    print(f"plan: {plan.num_work_items} work items, KV chunk size {plan.kv_chunk_size}, "
+          f"{len(plan.merges)} split-KV merges")
+
+    q = rng.standard_normal((len(seqs), 8, 64))
+    out, lse, report = wrapper.run(q, cache.k_pool, cache.v_pool)
+
+    # 4. Verify against the dense oracle.
+    worst = 0.0
+    for r, sid in enumerate(seqs):
+        k_hist, v_hist = cache.gather(sid)
+        ref = reference_attention(
+            q[r : r + 1],
+            round_to_storage(k_hist, StorageDType.FP16),
+            round_to_storage(v_hist, StorageDType.FP16),
+            causal=True,
+        )
+        worst = max(worst, float(np.abs(out[r : r + 1] - ref).max()))
+    print(f"max |error| vs dense oracle: {worst:.2e}")
+
+    # 5. The simulated GPU's view of the kernel.
+    print(
+        f"simulated kernel: {report.makespan * 1e6:.1f} µs on {A100_40G.name}, "
+        f"bandwidth {report.achieved_bandwidth() / 1e9:.0f} GB/s "
+        f"({report.bandwidth_utilization(A100_40G):.0%} of peak), "
+        f"CTA load balance {report.balance:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

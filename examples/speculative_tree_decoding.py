@@ -1,0 +1,78 @@
+"""Speculative tree decoding with block-sparse tree attention.
+
+Medusa/SpecInfer-style verification (paper §3.1.1: tree attentions are one
+more structure the block-sparse format unifies): a draft model proposes a
+*tree* of candidate continuations; the target model scores every node in
+one batched attention call where each draft token attends the committed
+context plus its own ancestor path only.
+
+Run:  python examples/speculative_tree_decoding.py
+"""
+
+import numpy as np
+
+from repro import BatchAttentionWrapper, WorkspaceBuffer, AttentionMapping
+from repro.core import HeadConfig, reference_attention
+from repro.kvcache import PagedKVCache
+from repro.variants import make_tree_attention, tree_attention_mask
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    heads = HeadConfig(4, 2, 32)
+
+    # Committed context of 60 tokens in the paged cache.
+    context_len = 60
+    cache = PagedKVCache(64, 4, 2, 32)
+    sid = cache.new_seq()
+    cache.append(sid, rng.standard_normal((context_len, 2, 32)),
+                 rng.standard_normal((context_len, 2, 32)))
+
+    # A draft tree: two branches from the root, one of which forks again.
+    #      0
+    #     / \
+    #    1   2
+    #   / \    \
+    #  3   4    5
+    parents = [-1, 0, 0, 1, 1, 2]
+    n = len(parents)
+    print("draft tree parents:", parents)
+    print(tree_attention_mask(parents)[:, :n].astype(int))
+
+    # Draft K/V go into the same cache, right after the context.
+    draft_k = rng.standard_normal((n, 2, 32))
+    draft_v = rng.standard_normal((n, 2, 32))
+    cache.append(sid, draft_k, draft_v)
+
+    variant = make_tree_attention(parents, context_len)
+    mapping = AttentionMapping(
+        np.array([0, n]), cache.layout([sid]), causal=True
+    )
+    wrapper = BatchAttentionWrapper(
+        variant, heads, WorkspaceBuffer(1 << 26), avg_qo_len=n
+    )
+    wrapper.plan(mapping)
+    q = rng.standard_normal((n, 4, 32))
+    out, _, report = wrapper.run(q, cache.k_pool, cache.v_pool)
+
+    # Verify one leaf against a per-path dense computation: node 4's path
+    # is context + [0, 1, 4].  (K/V round through fp16 storage, like the
+    # kernel's cache reads.)
+    from repro.utils.dtypes import StorageDType, round_to_storage
+
+    k_hist, v_hist = cache.gather(sid)
+    k_hist = round_to_storage(k_hist, StorageDType.FP16)
+    v_hist = round_to_storage(v_hist, StorageDType.FP16)
+    path = list(range(context_len)) + [context_len + 0, context_len + 1, context_len + 4]
+    ref = reference_attention(
+        q[4:5], k_hist[path], v_hist[path], causal=False,
+    )
+    err = np.abs(out[4:5] - ref).max()
+    print(f"\nscored {n} draft tokens in one attention call; "
+          f"leaf-path check |err| = {err:.2e}")
+    print(f"simulated kernel time: {report.makespan * 1e6:.2f} µs "
+          f"(vs {n} sequential decode calls)")
+
+
+if __name__ == "__main__":
+    main()

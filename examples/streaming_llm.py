@@ -1,0 +1,82 @@
+"""StreamingLLM with a fused RoPE+attention kernel (paper §4.3).
+
+Streams a long token sequence through a constant-memory sink+window cache,
+applying RoPE at *cache* positions inside the attention kernel — the custom
+variant the paper generates "with merely 20 additional lines of code".
+Compares the fused kernel's simulated cost per decode step against the
+unfused pipeline (standalone RoPE kernel + attention) and the original
+StreamingLLM implementation's overheads.
+
+Run:  python examples/streaming_llm.py
+"""
+
+import numpy as np
+
+from repro import BatchAttentionWrapper, WorkspaceBuffer, A100_40G
+from repro.baselines import unfused_rope_attention, unfused_streaming_step
+from repro.core import HeadConfig
+from repro.kvcache import StreamingKVCache
+from repro.variants import FUSED_ROPE
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    heads = HeadConfig(num_qo_heads=8, num_kv_heads=8, head_dim=64)
+    num_sinks, window = 4, 252
+
+    cache = StreamingKVCache(
+        batch_size=1, num_sinks=num_sinks, window=window,
+        num_kv_heads=8, head_dim=64,
+    )
+    wrapper = BatchAttentionWrapper(
+        FUSED_ROPE, heads, WorkspaceBuffer(128 * 1024 * 1024), A100_40G, avg_qo_len=1
+    )
+
+    stream_len = 2000  # tokens streamed through a 256-entry cache
+    out = None
+    for step in range(stream_len):
+        k = rng.standard_normal((1, 8, 64))
+        v = rng.standard_normal((1, 8, 64))
+        cache.append(0, k, v)
+        if step % 500 != 499:
+            continue
+        mapping = cache.mapping([0], [1])
+        wrapper.plan(mapping)
+        q = rng.standard_normal((1, 8, 64))
+        out, _, report = wrapper.run(q, cache.k_pool, cache.v_pool)
+
+        # Verify against the unfused oracle on the live cache.
+        slots = mapping.kv.slot_indices(0)
+        n = len(slots)
+        ref = unfused_rope_attention(
+            q, cache.k_pool[slots], cache.v_pool[slots],
+            q_pos=np.array([n - 1]), kv_pos=np.arange(n), causal=True,
+        )
+        err = np.abs(out - ref).max()
+        print(
+            f"step {step + 1:5d}: cache holds {cache.cache_len(0):3d}/{stream_len} tokens "
+            f"(constant memory), fused kernel {report.makespan * 1e6:.2f} µs, "
+            f"|err| vs unfused oracle {err:.1e}"
+        )
+
+    # --- fused vs unfused vs original implementation, per decode step -------
+    mapping = cache.mapping([0], [1])
+    wrapper.plan(mapping)
+    _, _, fused_report = wrapper.run(None, compute=False)
+    unfused = unfused_streaming_step(
+        fused_report, cache_len=cache.cache_len(0), batch_size=1,
+        heads=heads, gpu=A100_40G,
+    )
+    original = unfused_streaming_step(
+        fused_report, cache_len=cache.cache_len(0), batch_size=1,
+        heads=heads, gpu=A100_40G, original_impl=True,
+    )
+    f, u, o = fused_report.makespan, unfused.total.makespan, original.total.makespan
+    print("\nper-step attention pipeline cost (simulated):")
+    print(f"  FlashInfer fused RoPE+attention : {f * 1e6:8.2f} µs")
+    print(f"  unfused RoPE kernel + attention : {u * 1e6:8.2f} µs  ({u / f:.2f}x)")
+    print(f"  original StreamingLLM impl      : {o * 1e6:8.2f} µs  ({o / f:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""A real transformer generating tokens through the attention engine.
+
+Builds a tiny randomly-initialized Llama-style model and serves it two
+ways: (a) the dense oracle (full forward pass recomputed every token) and
+(b) the production path — paged KV cache, load-balanced plans, the
+JIT-compiled kernel — verifying the two generate token-identical output,
+then forking the sequence for parallel continuations.
+
+Run:  python examples/tiny_model_generation.py
+"""
+
+import numpy as np
+
+from repro.models import GenerationSession, TinyConfig, TinyTransformer
+
+
+def main() -> None:
+    model = TinyTransformer(TinyConfig(num_layers=3), seed=7)
+    prompt = [11, 42, 42, 97, 3, 5]
+
+    dense = model.greedy_generate_dense(prompt, 12)
+    sess = GenerationSession(model)
+    paged = sess.greedy_generate(prompt, 12)
+
+    print(f"prompt tokens : {prompt}")
+    print(f"dense oracle  : {dense}")
+    print(f"paged engine  : {paged}")
+    print(f"token-exact   : {dense == paged}")
+
+    # Parallel continuations: fork the prompt's KV pages (zero copies of
+    # full pages) and decode different branches.  A longer prompt spans
+    # several full pages, which the fork shares by refcount.
+    long_prompt = (prompt * 4)[:22]
+    sess2 = GenerationSession(model)
+    root = sess2.new_sequence()
+    logits = sess2.step([root], [long_prompt])
+    first = int(np.argmax(logits[0]))
+    fork = sess2.fork_sequence(root)
+    second_best = int(np.argsort(logits[0])[-2])
+
+    branches = {root: [first], fork: [second_best]}
+    for _ in range(6):
+        out = sess2.step(
+            [root, fork], [[branches[root][-1]], [branches[fork][-1]]]
+        )
+        branches[root].append(int(np.argmax(out[0])))
+        branches[fork].append(int(np.argmax(out[1])))
+    print(f"\nbranch A (greedy)      : {branches[root]}")
+    print(f"branch B (2nd choice)  : {branches[fork]}")
+    shared = sum(
+        1 for c in sess2.cache
+        for p in c.seq_pages(sess2.seqs[root][0])
+        if c.page_refcount(p) > 1
+    )
+    print(f"prompt pages shared between branches (refcount > 1): {shared}")
+
+
+if __name__ == "__main__":
+    main()

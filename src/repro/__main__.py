@@ -1,0 +1,161 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``info``        — library, GPU-model and JIT-cache summary.
+* ``demo``        — the quickstart flow with plan/report diagnostics.
+* ``generate``    — run the tiny transformer through the paged engine.
+* ``serve``       — a small serving comparison across attention backends.
+* ``figures``     — how to regenerate every paper figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from repro.core import cache_info
+    from repro.gpu import A100_40G, H100_80G
+
+    print(f"repro {repro.__version__} — FlashInfer (MLSys 2025) reproduction")
+    for spec in (A100_40G, H100_80G):
+        print(
+            f"  {spec.name}: {spec.num_sms} SMs, "
+            f"{spec.peak_bandwidth_bytes / 1e12:.2f} TB/s, "
+            f"{spec.peak_fp16_flops / 1e12:.0f} TFLOP/s fp16"
+        )
+    print(f"  JIT kernel cache: {cache_info()}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import A100_40G, AttentionMapping, BatchAttentionWrapper, WorkspaceBuffer
+    from repro.core import HeadConfig, VANILLA
+    from repro.diagnostics import format_plan, format_plan_load, format_report
+    from repro.kvcache import PagedKVCache
+
+    rng = np.random.default_rng(args.seed)
+    heads = HeadConfig(8, 2, 64)
+    cache = PagedKVCache(1024, 16, 2, 64)
+    seqs = []
+    for n in (700, 5300, 90, 2500):
+        sid = cache.new_seq()
+        cache.append(sid, rng.standard_normal((n, 2, 64)), rng.standard_normal((n, 2, 64)))
+        seqs.append(sid)
+    mapping = AttentionMapping(np.arange(len(seqs) + 1), cache.layout(seqs), causal=True)
+    w = BatchAttentionWrapper(VANILLA, heads, WorkspaceBuffer(1 << 28), A100_40G, avg_qo_len=1)
+    plan = w.plan(mapping)
+    print("— schedule plan " + "—" * 48)
+    print(format_plan(plan))
+    q = rng.standard_normal((len(seqs), 8, 64))
+    _, _, report = w.run(q, cache.k_pool, cache.v_pool)
+    print("\n— simulated execution " + "—" * 42)
+    print(format_report(report, A100_40G))
+    print("\n— planned per-CTA load (Algorithm 1 weights) " + "—" * 18)
+    print(format_plan_load(plan))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    from repro.models import GenerationSession, TinyConfig, TinyTransformer
+    from repro.models.sampling import SamplingParams, sample_token
+
+    model = TinyTransformer(TinyConfig(), seed=args.seed)
+    sess = GenerationSession(model)
+    rng = np.random.default_rng(args.seed)
+    prompt = rng.integers(0, model.config.vocab_size, 6).tolist()
+    sid = sess.new_sequence()
+    logits = sess.step([sid], [prompt])
+    params = SamplingParams(temperature=args.temperature, top_k=args.top_k)
+    tokens = [sample_token(logits[0], params, rng)]
+    for _ in range(args.tokens - 1):
+        logits = sess.step([sid], [[tokens[-1]]])
+        tokens.append(sample_token(logits[0], params, rng))
+    print(f"prompt : {prompt}")
+    print(f"output : {tokens}")
+    print(f"(temperature={args.temperature}, top_k={args.top_k}, paged attention engine)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core import HeadConfig
+    from repro.gpu import H100_80G
+    from repro.serving import (
+        EngineConfig, FlashInferBackend, LLAMA_3_1_8B, ServingEngine,
+        TritonBackend, TRTLLMBackend, sharegpt_workload,
+    )
+
+    model = LLAMA_3_1_8B
+    heads = HeadConfig(model.num_qo_heads, model.num_kv_heads, model.head_dim)
+    requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
+    print(f"{args.requests} ShareGPT-like requests at {args.rate} req/s, {model.name} on H100")
+    for make in (FlashInferBackend, TritonBackend, TRTLLMBackend):
+        backend = make(heads, H100_80G)
+        engine = ServingEngine(model, backend, H100_80G, EngineConfig(max_running=256))
+        s = engine.run(requests).summary()
+        print(
+            f"  {backend.name:>10s}: ITL {s['median_itl'] * 1e3:6.2f} ms, "
+            f"TTFT {s['median_ttft'] * 1e3:6.1f} ms, "
+            f"P99 TTFT {s['p99_ttft'] * 1e3:5.0f} ms"
+        )
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    print("Regenerate every paper figure (tables print with -s):")
+    print("  pytest benchmarks/ --benchmark-only -s")
+    print("Individual figures:")
+    for fig, target in [
+        ("Figure 7 (end-to-end serving)", "benchmarks/test_fig7_e2e_serving.py"),
+        ("Figure 8 (kernel dynamism)", "benchmarks/test_fig8_kernel_dynamism.py"),
+        ("Figure 9 (StreamingLLM)", "benchmarks/test_fig9_streaming_llm.py"),
+        ("Figure 10 (parallel generation)", "benchmarks/test_fig10_parallel_generation.py"),
+        ("Figure 12 (sparse overhead)", "benchmarks/test_fig12_sparse_overhead.py"),
+        ("Design ablations", "benchmarks/test_ablation_*.py"),
+    ]:
+        print(f"  {fig:38s} pytest {target} --benchmark-only -s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FlashInfer reproduction: attention engine demos and tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and simulated-GPU summary")
+
+    demo = sub.add_parser("demo", help="plan/run a batch with diagnostics")
+    demo.add_argument("--seed", type=int, default=0)
+
+    gen = sub.add_parser("generate", help="generate tokens with the tiny model")
+    gen.add_argument("--tokens", type=int, default=16)
+    gen.add_argument("--temperature", type=float, default=0.8)
+    gen.add_argument("--top-k", type=int, default=8, dest="top_k")
+    gen.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve", help="compare serving backends")
+    serve.add_argument("--requests", type=int, default=40)
+    serve.add_argument("--rate", type=float, default=60.0)
+    serve.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("figures", help="how to regenerate the paper figures")
+
+    args = parser.parse_args(argv)
+    return {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "generate": _cmd_generate,
+        "serve": _cmd_serve,
+        "figures": _cmd_figures,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""FlashInfer-compatible public API surface (see :mod:`repro.api.wrappers`)."""
+
+from repro.api.wrappers import (
+    BatchDecodeWithPagedKVCacheWrapper,
+    BatchPrefillWithPagedKVCacheWrapper,
+    BatchPrefillWithRaggedKVCacheWrapper,
+    merge_state,
+    merge_states,
+    single_decode_with_kv_cache,
+    single_prefill_with_kv_cache,
+)
+
+__all__ = [
+    "BatchDecodeWithPagedKVCacheWrapper",
+    "BatchPrefillWithPagedKVCacheWrapper",
+    "BatchPrefillWithRaggedKVCacheWrapper",
+    "merge_state",
+    "merge_states",
+    "single_decode_with_kv_cache",
+    "single_prefill_with_kv_cache",
+]

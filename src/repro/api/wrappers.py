@@ -1,0 +1,292 @@
+"""FlashInfer-compatible public API surface.
+
+The open-source FlashInfer library exposes task-specific wrappers
+(``BatchDecodeWithPagedKVCacheWrapper``,
+``BatchPrefillWithPagedKVCacheWrapper``,
+``BatchPrefillWithRaggedKVCacheWrapper`` — the APIs cited in Appendix B)
+plus single-request helpers and the state-merge operators.  This module
+provides the same names and call shapes over this reproduction's engine,
+so downstream code written against the real library's Python API ports
+directly.
+
+All wrappers share the plan/run discipline of paper §3.4 (Listing 1):
+construct once with a workspace buffer, ``plan`` per generation step on
+the CPU, ``run`` any number of times per plan.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.kernels import HeadConfig
+from repro.core.state import merge_states as _merge_states_raw
+from repro.core.variant import VANILLA, AttentionVariant
+from repro.core.wrapper import BatchAttentionWrapper
+from repro.gpu.executor import SimReport
+from repro.gpu.spec import A100_40G, GPUSpec
+from repro.gpu.workspace import WorkspaceBuffer
+from repro.sparse.layout import AttentionMapping, BlockSparseKV
+from repro.utils.dtypes import StorageDType
+
+
+class BatchDecodeWithPagedKVCacheWrapper:
+    """Batch decode attention over a paged KV cache.
+
+    Mirrors ``flashinfer.decode.BatchDecodeWithPagedKVCacheWrapper``:
+    ``plan`` takes the page-table triple ``(kv_indptr, kv_indices,
+    last_page_len)``; ``run`` takes the query tensor and the K/V page pools.
+    """
+
+    def __init__(
+        self,
+        workspace: WorkspaceBuffer,
+        num_qo_heads: int,
+        num_kv_heads: int,
+        head_dim: int,
+        page_size: int,
+        gpu: GPUSpec = A100_40G,
+        variant: AttentionVariant = VANILLA,
+        kv_dtype: StorageDType = StorageDType.FP16,
+        max_batch_size: Optional[int] = None,
+    ):
+        self.page_size = page_size
+        self.heads = HeadConfig(num_qo_heads, num_kv_heads, head_dim)
+        self._inner = BatchAttentionWrapper(
+            variant, self.heads, workspace, gpu,
+            avg_qo_len=1.0, kv_dtype=kv_dtype,
+            max_batch_size=max_batch_size,
+            max_total_qo=max_batch_size,
+        )
+        self._pool_blocks: Optional[int] = None
+
+    def plan(
+        self,
+        kv_indptr: np.ndarray,
+        kv_indices: np.ndarray,
+        last_page_len: np.ndarray,
+        pool_num_pages: int,
+        params: Optional[dict] = None,
+        sm_scale: Optional[float] = None,
+    ) -> None:
+        """Stage the decode schedule for the current page table."""
+        kv_indptr = np.asarray(kv_indptr, dtype=np.int64)
+        last_page_len = np.asarray(last_page_len, dtype=np.int64)
+        batch = kv_indptr.size - 1
+        pages_per_seq = np.diff(kv_indptr)
+        kv_lens = np.where(
+            pages_per_seq > 0,
+            (pages_per_seq - 1) * self.page_size + last_page_len,
+            0,
+        )
+        kv = BlockSparseKV(self.page_size, pool_num_pages, kv_indptr,
+                           np.asarray(kv_indices, dtype=np.int64), kv_lens)
+        mapping = AttentionMapping(
+            np.arange(batch + 1, dtype=np.int64), kv, causal=True
+        )
+        self._inner.plan(mapping, params=params, sm_scale=sm_scale)
+
+    def run(
+        self,
+        q: np.ndarray,
+        k_pool: np.ndarray,
+        v_pool: np.ndarray,
+        return_lse: bool = False,
+    ):
+        """Compute decode attention: ``q`` is ``(batch, H_qo, D)``."""
+        out, lse, _ = self._inner.run(q, k_pool, v_pool)
+        return (out, lse) if return_lse else out
+
+    @property
+    def last_report(self) -> Optional[SimReport]:
+        return self._inner.last_report
+
+
+class BatchPrefillWithPagedKVCacheWrapper:
+    """Batch (incremental) prefill attention over a paged KV cache.
+
+    Mirrors ``flashinfer.prefill.BatchPrefillWithPagedKVCacheWrapper``:
+    queries are packed per ``qo_indptr``; KV comes from the page pool.
+    """
+
+    def __init__(
+        self,
+        workspace: WorkspaceBuffer,
+        num_qo_heads: int,
+        num_kv_heads: int,
+        head_dim: int,
+        page_size: int,
+        gpu: GPUSpec = A100_40G,
+        variant: AttentionVariant = VANILLA,
+        kv_dtype: StorageDType = StorageDType.FP16,
+        avg_qo_len: float = 512.0,
+        max_batch_size: Optional[int] = None,
+        max_total_qo: Optional[int] = None,
+    ):
+        self.page_size = page_size
+        self.heads = HeadConfig(num_qo_heads, num_kv_heads, head_dim)
+        self._inner = BatchAttentionWrapper(
+            variant, self.heads, workspace, gpu,
+            avg_qo_len=avg_qo_len, kv_dtype=kv_dtype,
+            max_batch_size=max_batch_size, max_total_qo=max_total_qo,
+        )
+
+    def plan(
+        self,
+        qo_indptr: np.ndarray,
+        kv_indptr: np.ndarray,
+        kv_indices: np.ndarray,
+        last_page_len: np.ndarray,
+        pool_num_pages: int,
+        causal: bool = True,
+        params: Optional[dict] = None,
+        sm_scale: Optional[float] = None,
+    ) -> None:
+        kv_indptr = np.asarray(kv_indptr, dtype=np.int64)
+        last_page_len = np.asarray(last_page_len, dtype=np.int64)
+        pages_per_seq = np.diff(kv_indptr)
+        kv_lens = np.where(
+            pages_per_seq > 0,
+            (pages_per_seq - 1) * self.page_size + last_page_len,
+            0,
+        )
+        kv = BlockSparseKV(self.page_size, pool_num_pages, kv_indptr,
+                           np.asarray(kv_indices, dtype=np.int64), kv_lens)
+        mapping = AttentionMapping(
+            np.asarray(qo_indptr, dtype=np.int64), kv, causal=causal
+        )
+        self._inner.plan(mapping, params=params, sm_scale=sm_scale)
+
+    def run(self, q, k_pool, v_pool, return_lse: bool = False):
+        out, lse, _ = self._inner.run(q, k_pool, v_pool)
+        return (out, lse) if return_lse else out
+
+    @property
+    def last_report(self) -> Optional[SimReport]:
+        return self._inner.last_report
+
+
+class BatchPrefillWithRaggedKVCacheWrapper:
+    """Batch prefill over *contiguous* (ragged) K/V tensors.
+
+    Mirrors ``flashinfer.prefill.BatchPrefillWithRaggedKVCacheWrapper`` —
+    the dense path of Appendix B: K/V are packed ``(total_kv, H, D)``
+    tensors sharing ``kv_indptr`` with no page indirection, so loads are
+    contiguous (TMA-eligible on Hopper).
+    """
+
+    def __init__(
+        self,
+        workspace: WorkspaceBuffer,
+        num_qo_heads: int,
+        num_kv_heads: int,
+        head_dim: int,
+        gpu: GPUSpec = A100_40G,
+        variant: AttentionVariant = VANILLA,
+        kv_dtype: StorageDType = StorageDType.FP16,
+        avg_qo_len: float = 512.0,
+        max_batch_size: Optional[int] = None,
+        max_total_qo: Optional[int] = None,
+    ):
+        self.heads = HeadConfig(num_qo_heads, num_kv_heads, head_dim)
+        self._inner = BatchAttentionWrapper(
+            variant, self.heads, workspace, gpu,
+            avg_qo_len=avg_qo_len, kv_dtype=kv_dtype, sparse_gather=False,
+            max_batch_size=max_batch_size, max_total_qo=max_total_qo,
+        )
+
+    def plan(
+        self,
+        qo_indptr: np.ndarray,
+        kv_indptr: np.ndarray,
+        causal: bool = True,
+        params: Optional[dict] = None,
+        sm_scale: Optional[float] = None,
+    ) -> None:
+        """Ragged layout: request ``i`` owns KV rows
+        ``[kv_indptr[i], kv_indptr[i+1])`` of the packed K/V tensors."""
+        kv_indptr = np.asarray(kv_indptr, dtype=np.int64)
+        kv_lens = np.diff(kv_indptr)
+        total_kv = int(kv_indptr[-1])
+        # Contiguous rows = a degenerate block-sparse layout with B_c = 1
+        # and identity gather.
+        indices = np.arange(total_kv, dtype=np.int64)
+        kv = BlockSparseKV(1, max(total_kv, 1), kv_indptr, indices, kv_lens)
+        mapping = AttentionMapping(
+            np.asarray(qo_indptr, dtype=np.int64), kv, causal=causal
+        )
+        self._inner.plan(mapping, params=params, sm_scale=sm_scale)
+
+    def run(self, q, k, v, return_lse: bool = False):
+        out, lse, _ = self._inner.run(q, k, v)
+        return (out, lse) if return_lse else out
+
+    @property
+    def last_report(self) -> Optional[SimReport]:
+        return self._inner.last_report
+
+
+# -- single-request helpers (flashinfer.single_* equivalents) -----------------
+
+
+def single_prefill_with_kv_cache(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    causal: bool = True,
+    sm_scale: Optional[float] = None,
+    variant: AttentionVariant = VANILLA,
+    gpu: GPUSpec = A100_40G,
+    params: Optional[dict] = None,
+) -> np.ndarray:
+    """One-shot prefill attention for a single request (no paging)."""
+    n_q, n_kv = q.shape[0], k.shape[0]
+    ws = WorkspaceBuffer(max(64 * 1024 * 1024, n_kv * 1024))
+    w = BatchPrefillWithRaggedKVCacheWrapper(
+        ws, q.shape[1], k.shape[1], q.shape[2], gpu=gpu, variant=variant,
+        avg_qo_len=float(n_q),
+    )
+    w.plan(np.array([0, n_q]), np.array([0, n_kv]), causal=causal,
+           params=params, sm_scale=sm_scale)
+    return w.run(q, k, v)
+
+
+def single_decode_with_kv_cache(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    sm_scale: Optional[float] = None,
+    variant: AttentionVariant = VANILLA,
+    gpu: GPUSpec = A100_40G,
+    params: Optional[dict] = None,
+) -> np.ndarray:
+    """One-shot decode attention: ``q`` is ``(H_qo, D)``, K/V ``(n, H_kv, D)``."""
+    out = single_prefill_with_kv_cache(
+        q[None], k, v, causal=True, sm_scale=sm_scale, variant=variant,
+        gpu=gpu, params=params,
+    )
+    return out[0]
+
+
+# -- state-merge operators (flashinfer.merge_state / merge_states) ------------
+
+
+def merge_state(
+    v_a: np.ndarray, s_a: np.ndarray, v_b: np.ndarray, s_b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge two attention states ``(V, S)`` with ``⊕`` (paper §2.2)."""
+    return _merge_states_raw(v_a, s_a, v_b, s_b)
+
+
+def merge_states(v: np.ndarray, s: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge ``num_states`` stacked attention states: ``v`` is
+    ``(num_states, ..., D)``, ``s`` is ``(num_states, ...)``."""
+    v = np.asarray(v)
+    s = np.asarray(s)
+    if v.shape[0] != s.shape[0] or v.shape[0] == 0:
+        raise ValueError("v and s must stack the same non-zero number of states")
+    out_v, out_s = v[0], s[0]
+    for i in range(1, v.shape[0]):
+        out_v, out_s = _merge_states_raw(out_v, out_s, v[i], s[i])
+    return out_v, out_s

@@ -1,0 +1,54 @@
+"""Naive attention baseline: materializes the full attention matrix.
+
+The pre-FlashAttention formulation: ``S = QKᵀ`` and ``P = softmax(S)`` are
+written to and re-read from global memory.  Used to motivate the IO
+analysis; its cost model charges the quadratic logits traffic that
+FlashAttention's online softmax eliminates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.kernels import HeadConfig, reference_attention
+from repro.gpu.cost import TileCost
+from repro.gpu.executor import PersistentKernelExecutor, SimReport
+from repro.gpu.spec import A100_40G, GPUSpec
+
+
+def naive_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    causal: bool = False,
+    sm_scale: Optional[float] = None,
+) -> np.ndarray:
+    """Numerically identical to :func:`reference_attention` (exact softmax)."""
+    return reference_attention(q, k, v, causal=causal, sm_scale=sm_scale)
+
+
+def naive_attention_report(
+    qo_len: int,
+    kv_len: int,
+    heads: HeadConfig,
+    gpu: GPUSpec = A100_40G,
+    itemsize: int = 2,
+) -> SimReport:
+    """Cost of naive attention for one sequence: quadratic logits traffic.
+
+    One block per head; reads Q/K/V, writes then re-reads the ``n_q × n_kv``
+    score and probability matrices, writes O.
+    """
+    d = heads.head_dim
+    logits_bytes = qo_len * kv_len * 4  # fp32 scores
+    per_head = TileCost(
+        flops=4.0 * qo_len * kv_len * d,
+        padded_flops=4.0 * qo_len * kv_len * d,
+        bytes_read=float((qo_len + 2 * kv_len) * d * itemsize + 2 * logits_bytes),
+        bytes_written=float(qo_len * d * itemsize + 2 * logits_bytes),
+        uses_tensor_cores=True,
+    )
+    exe = PersistentKernelExecutor(gpu)
+    return exe.run_grid([per_head] * heads.num_qo_heads)

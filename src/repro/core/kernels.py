@@ -1,0 +1,359 @@
+"""Plan execution: numeric kernels plus cost accounting.
+
+``run_mapping`` drains a :class:`~repro.core.scheduler.SchedulePlan` for one
+:class:`~repro.sparse.AttentionMapping`: every work item gathers its KV
+chunk from the pool (the scattered-global-to-contiguous-shared move of
+§3.2.1), invokes the JIT kernel to produce a partial attention state, and
+writes either straight to the final output (writethrough) or to a workspace
+partial slot.  Alongside the numerics it builds per-CTA
+:class:`~repro.gpu.cost.TileCost` queues for the simulated GPU; the two are
+kept in lockstep so a benchmark can skip the numerics (``compute=False``)
+and still obtain exact traffic/FLOP accounting at paper-scale problem
+sizes.
+
+``reference_attention`` is the O(n²) dense safe-softmax oracle used by the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.composition import contract_entry, contraction_cost
+from repro.core.jit import CompiledKernel
+from repro.core.scheduler import SchedulePlan, WorkItem
+from repro.gpu.cost import TileCost
+from repro.sparse.bsr import ceil_div
+from repro.sparse.layout import AttentionMapping
+from repro.utils.dtypes import StorageDType, round_to_storage
+
+#: Queries/outputs are staged in fp16 (paper §4: "f16 precision for storage").
+Q_ITEMSIZE = 2
+#: Partial states live in fp32 in the workspace (Appendix D.3: D+1 floats).
+PARTIAL_ITEMSIZE = 4
+
+
+@dataclass(frozen=True)
+class HeadConfig:
+    """Attention head geometry."""
+
+    num_qo_heads: int
+    num_kv_heads: int
+    head_dim: int
+
+    def __post_init__(self) -> None:
+        if self.num_qo_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"num_qo_heads ({self.num_qo_heads}) must be a multiple of "
+                f"num_kv_heads ({self.num_kv_heads})"
+            )
+
+    @property
+    def group_size(self) -> int:
+        """GQA group size g = H_qo / H_kv (§2.1)."""
+        return self.num_qo_heads // self.num_kv_heads
+
+
+def reference_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    causal: bool = False,
+    sm_scale: Optional[float] = None,
+    q_pos: Optional[np.ndarray] = None,
+    kv_pos: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Dense safe-softmax attention oracle.
+
+    ``q``: ``(n_q, H_qo, D)``; ``k``/``v``: ``(n_kv, H_kv, D)`` with
+    ``H_qo`` a multiple of ``H_kv`` (GQA).  Positions default to the
+    decode/prefill convention (queries are the trailing positions).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    n_q, h_qo, d = q.shape
+    n_kv, h_kv, _ = k.shape
+    g = h_qo // h_kv
+    if sm_scale is None:
+        sm_scale = 1.0 / np.sqrt(d)
+    if q_pos is None:
+        q_pos = np.arange(n_kv - n_q, n_kv)
+    if kv_pos is None:
+        kv_pos = np.arange(n_kv)
+    out = np.zeros_like(q)
+    for h in range(h_qo):
+        kh = h // g
+        s = (q[:, h] @ k[:, kh].T) * sm_scale
+        if causal:
+            s = np.where(q_pos[:, None] >= kv_pos[None, :], s, -np.inf)
+        m = np.max(s, axis=1, keepdims=True)
+        m = np.where(np.isneginf(m), 0.0, m)
+        p = np.exp(s - m)
+        denom = p.sum(axis=1, keepdims=True)
+        denom = np.where(denom == 0.0, 1.0, denom)
+        out[:, h] = (p / denom) @ v[:, kh]
+    return out
+
+
+def kv_reuse_factor(item: WorkItem, mapping: AttentionMapping, q_tile_size: int) -> int:
+    """Number of query tiles in the item's group that read its KV chunk.
+
+    Causal groups: tiles whose last query position reaches the chunk's
+    first KV position.  Non-causal groups: every tile.
+    """
+    lq = int(mapping.qo_lens[item.group])
+    n_tiles = ceil_div(lq, q_tile_size) if lq else 1
+    if not mapping.causal:
+        return max(n_tiles, 1)
+    first_row = (
+        int(mapping.kv_pos_offset[item.group]) + item.kv_start
+        - int(mapping.q_pos_offset[item.group])
+    )
+    first_row = min(max(first_row, 0), max(lq - 1, 0))
+    return max(n_tiles - first_row // q_tile_size, 1)
+
+
+def work_item_cost(
+    item: WorkItem,
+    mapping: AttentionMapping,
+    heads: HeadConfig,
+    kv_tile: int,
+    kv_dtype: StorageDType,
+    q_tile_size: int,
+    fuse_head_groups: bool,
+    uses_tensor_cores: bool,
+    sparse_gather: bool,
+    compute_penalty: float = 1.0,
+) -> TileCost:
+    """Roofline footprint of one work item.
+
+    Models causal skipping (KV tiles entirely above the diagonal are never
+    loaded or computed), tile padding waste, GQA head-group fusion (KV
+    loaded once per KV head rather than once per query head), and the
+    transaction efficiency of sparse gathers.
+    """
+    g_eff = heads.group_size if fuse_head_groups else 1
+    d = heads.head_dim
+    chunk = item.kv_len
+    q_pos0 = int(mapping.q_pos_offset[item.group]) + item.q_start
+    kv_pos0 = int(mapping.kv_pos_offset[item.group]) + item.kv_start
+
+    if mapping.causal and chunk > 0:
+        counts = np.clip(
+            (q_pos0 + np.arange(item.q_rows)) - kv_pos0 + 1, 0, chunk
+        )
+        useful_cols = int(counts.sum())
+        max_count = int(counts.max())
+        processed = min(chunk, ceil_div(max_count, kv_tile) * kv_tile) if max_count else 0
+    else:
+        useful_cols = item.q_rows * chunk
+        processed = chunk
+
+    flops = 4.0 * d * useful_cols * g_eff
+    padded_rows = q_tile_size * g_eff
+    padded_flops = 4.0 * d * padded_rows * processed * compute_penalty
+
+    # A KV chunk is re-read by every later query tile of its group; the
+    # re-reads hit L2 (the working set is a few MB), so only 1/reuse of the
+    # logical KV traffic goes to HBM.  Decode (one tile per group) has
+    # reuse 1.  This is what makes prefill compute-bound in practice.
+    reuse = kv_reuse_factor(item, mapping, q_tile_size)
+    kv_bytes = processed * d * 2 * kv_dtype.itemsize / reuse
+    q_bytes = item.q_rows * g_eff * d * Q_ITEMSIZE
+    if item.partial_slot >= 0:
+        out_bytes = item.q_rows * g_eff * (d + 1) * PARTIAL_ITEMSIZE
+    else:
+        out_bytes = item.q_rows * g_eff * d * Q_ITEMSIZE
+
+    if sparse_gather and processed > 0:
+        bc = mapping.kv.block_size
+        run_bytes = float(min(bc, processed) * d * kv_dtype.itemsize)
+        segments = 2 * ceil_div(processed, bc)
+    else:
+        run_bytes = 0.0
+        segments = 0
+
+    return TileCost(
+        flops=flops,
+        padded_flops=padded_flops,
+        bytes_read=float(kv_bytes + q_bytes),
+        bytes_written=float(out_bytes),
+        contiguous_run_bytes=run_bytes,
+        n_gather_segments=segments,
+        uses_tensor_cores=uses_tensor_cores,
+    )
+
+
+def run_mapping(
+    q: np.ndarray,
+    k_pool: np.ndarray,
+    v_pool: np.ndarray,
+    mapping: AttentionMapping,
+    plan: SchedulePlan,
+    kernel: CompiledKernel,
+    heads: HeadConfig,
+    params,
+    sm_scale: float,
+    kv_tile: int,
+    out: np.ndarray,
+    lse: np.ndarray,
+    partial_o: np.ndarray,
+    partial_lse: np.ndarray,
+    kv_dtype: StorageDType = StorageDType.FP16,
+    fuse_head_groups: bool = True,
+    sparse_gather: bool = True,
+    uses_tensor_cores: bool = True,
+    compute: bool = True,
+    compute_penalty: float = 1.0,
+) -> Tuple[List[List[TileCost]], List[TileCost]]:
+    """Execute one mapping's plan: numerics into ``out``/``lse``, costs out.
+
+    ``out`` (``(total_q, H_qo, D)``) and ``lse`` (``(total_q, H_qo)``) are
+    written only at rows/heads this mapping covers.  Split tiles go through
+    ``partial_o``/``partial_lse`` (``(slots, max_rows, D)`` / ``(slots,
+    max_rows)``) and are contracted per the plan's merge entries.
+
+    Returns ``(cta_cost_queues, merge_costs)`` for the simulated GPU.
+    """
+    g = heads.group_size
+    d = heads.head_dim
+    g_eff = g if fuse_head_groups else 1
+    cost_queues: List[List[TileCost]] = []
+
+    for queue in plan.cta_queues:
+        costs: List[TileCost] = []
+        for item in queue:
+            costs.append(
+                work_item_cost(
+                    item,
+                    mapping,
+                    heads,
+                    kv_tile,
+                    kv_dtype,
+                    plan.q_tile_size,
+                    fuse_head_groups,
+                    uses_tensor_cores,
+                    sparse_gather,
+                    compute_penalty,
+                )
+            )
+            if compute:
+                _execute_item(
+                    item, q, k_pool, v_pool, mapping, kernel, heads, params,
+                    sm_scale, kv_tile, out, lse, partial_o, partial_lse,
+                    kv_dtype, fuse_head_groups,
+                )
+        cost_queues.append(costs)
+
+    merge_costs: List[TileCost] = []
+    for entry in plan.merges:
+        rows = entry.q_rows * g_eff
+        merge_costs.append(contraction_cost(entry, rows, d, PARTIAL_ITEMSIZE))
+        if compute:
+            _execute_merge(
+                entry, mapping, heads, out, lse, partial_o, partial_lse,
+                fuse_head_groups, kernel.variant.use_softmax,
+            )
+    return cost_queues, merge_costs
+
+
+def _item_rows(
+    item: WorkItem,
+    mapping: AttentionMapping,
+    heads: HeadConfig,
+    fuse_head_groups: bool,
+) -> Tuple[int, int, np.ndarray, np.ndarray, int]:
+    """Resolve a work item's absolute query rows, head set and positions.
+
+    Returns ``(abs_row_start, n_heads, q_pos, q_head_ids, kv_head)`` where
+    the item covers query heads ``q_head_ids`` (fused GQA group or a single
+    head) of rows ``[abs_row_start, abs_row_start + q_rows)``.
+    """
+    g = heads.group_size
+    abs_start = int(mapping.q_row_starts[item.group]) + item.q_start
+    q_pos = int(mapping.q_pos_offset[item.group]) + item.q_start + np.arange(item.q_rows)
+    if fuse_head_groups:
+        kv_head = item.kv_head
+        head_ids = np.arange(kv_head * g, (kv_head + 1) * g)
+    else:
+        qh = item.kv_head  # scheduling dimension enumerates query heads
+        kv_head = qh // g
+        head_ids = np.asarray([qh])
+    return abs_start, len(head_ids), q_pos, head_ids, kv_head
+
+
+def _execute_item(
+    item, q, k_pool, v_pool, mapping, kernel, heads, params, sm_scale,
+    kv_tile, out, lse, partial_o, partial_lse, kv_dtype, fuse_head_groups,
+) -> None:
+    abs_start, n_heads, q_pos, head_ids, kv_head = _item_rows(
+        item, mapping, heads, fuse_head_groups
+    )
+    d = heads.head_dim
+    rows_eff = item.q_rows * n_heads
+
+    # Query tile with GQA head-group fusion: (query, head) row-major.
+    q_tile = q[abs_start : abs_start + item.q_rows][:, head_ids, :].reshape(rows_eff, d)
+    q_pos_rows = np.repeat(q_pos, n_heads)
+    q_head_rows = np.tile(head_ids, item.q_rows)
+
+    # Gather the KV chunk (scattered global → contiguous "shared" memory).
+    slots = mapping.kv.slot_indices(item.group, item.kv_start, item.kv_stop)
+    k_chunk = round_to_storage(k_pool[slots, kv_head, :], kv_dtype)
+    v_chunk = round_to_storage(v_pool[slots, kv_head, :], kv_dtype)
+    kv_pos = int(mapping.kv_pos_offset[item.group]) + np.arange(item.kv_start, item.kv_stop)
+
+    o_tile, lse_tile = kernel.fn(
+        q_tile, k_chunk, v_chunk, q_pos_rows, kv_pos, q_head_rows, kv_head,
+        params, sm_scale, mapping.causal, kv_tile,
+    )
+
+    if item.partial_slot >= 0:
+        partial_o[item.partial_slot, :rows_eff, :] = o_tile
+        partial_lse[item.partial_slot, :rows_eff] = lse_tile
+    else:
+        _scatter_output(out, lse, o_tile, lse_tile, abs_start, item.q_rows, head_ids)
+
+
+def _execute_merge(
+    entry, mapping, heads, out, lse, partial_o, partial_lse,
+    fuse_head_groups, use_softmax,
+) -> None:
+    g = heads.group_size
+    d = heads.head_dim
+    abs_start = int(mapping.q_row_starts[entry.group]) + entry.q_start
+    if fuse_head_groups:
+        head_ids = np.arange(entry.kv_head * g, (entry.kv_head + 1) * g)
+    else:
+        head_ids = np.asarray([entry.kv_head])
+    rows_eff = entry.q_rows * len(head_ids)
+    o_tile, lse_tile = contract_entry(
+        entry,
+        partial_o[:, :rows_eff, :],
+        partial_lse[:, :rows_eff],
+        use_softmax,
+    )
+    _scatter_output(out, lse, o_tile, lse_tile, abs_start, entry.q_rows, head_ids)
+
+
+def _scatter_output(
+    out: np.ndarray,
+    lse: np.ndarray,
+    o_tile: np.ndarray,
+    lse_tile: np.ndarray,
+    abs_start: int,
+    q_rows: int,
+    head_ids: np.ndarray,
+) -> None:
+    """Unfuse a (query, head)-row-major tile back into packed layout."""
+    d = out.shape[-1]
+    n_heads = len(head_ids)
+    o = o_tile.reshape(q_rows, n_heads, d)
+    s = lse_tile.reshape(q_rows, n_heads)
+    idx = slice(abs_start, abs_start + q_rows)
+    out[idx, head_ids, :] = o
+    lse[idx, head_ids] = s

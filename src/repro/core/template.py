@@ -1,0 +1,159 @@
+"""The attention kernel template the JIT compiler specializes.
+
+This is the Python analog of FlashInfer's CUDA/CUTLASS ``KernelTemplate``
+(paper Figure 5): a source-code *string* with placeholders for the variant
+functors, kernel name and traits.  The JIT compiler renders the variant's
+functor expressions into the template (hooks for undeclared functors are
+removed entirely — specialization, not branching), compiles the result with
+``compile()``/``exec`` and caches it.
+
+The generated function processes one **work item** — a query tile against a
+KV chunk, for one KV head — using the FlashAttention-2 loop structure:
+an online-softmax sweep over KV tiles with running ``(m, d, acc)``
+renormalization, returning the partial attention state ``(O, LSE)`` for the
+chunk (§2.2: the canonical kernel output).  For ``use_softmax=False``
+variants the sweep degenerates to masked weighted accumulation and states
+compose by addition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+MODULE_TEMPLATE = '''\
+"""JIT-generated attention kernel for variant {variant_name!r}."""
+{helpers}
+
+def {kernel_name}(q, k, v, q_pos, kv_pos, q_head, kv_head, params,
+                  sm_scale, causal, kv_tile):
+    """Attention work-item kernel specialized for variant {variant_name!r}.
+
+    Processes one query tile against one gathered KV chunk for one KV head
+    and returns the partial attention state ``(o, lse)``.
+
+    q : (rows, head_dim) float — query tile (may fuse GQA head groups)
+    k, v : (kv_len, head_dim) float — gathered KV chunk (contiguous)
+    q_pos / kv_pos : int64 absolute positions; q_head : (rows,) int64;
+    kv_head : int; params : bound variant parameters; sm_scale : float;
+    causal : bool; kv_tile : int — inner tile size of the online sweep.
+    """
+    rows, head_dim = q.shape
+    kv_len = k.shape[0]
+    q = np.asarray(q, dtype=np.float64)
+{apply_query_transform}
+    m = np.full(rows, -np.inf)
+    d = np.zeros(rows)
+    acc = np.zeros((rows, head_dim))
+    q_pos_col = q_pos[:, None]
+    q_head_col = q_head[:, None]
+    for t0 in range(0, kv_len, kv_tile):
+        t1 = min(t0 + kv_tile, kv_len)
+        kt = np.asarray(k[t0:t1], dtype=np.float64)
+        vt = np.asarray(v[t0:t1], dtype=np.float64)
+        kv_pos_t = kv_pos[t0:t1]
+{apply_key_transform}
+{apply_value_transform}
+        logits = (q @ kt.T) * sm_scale
+        kv_pos_row = kv_pos_t[None, :]
+{apply_logits_transform}
+        keep = np.ones((rows, t1 - t0), dtype=bool)
+        if causal:
+            keep &= q_pos_col >= kv_pos_row
+{apply_logits_mask}
+{accumulate}
+{finalize}
+'''
+
+SOFTMAX_ACCUMULATE = '''\
+        logits = np.where(keep, logits, -np.inf)
+        m_new = np.maximum(m, logits.max(axis=1) if logits.size else -np.inf)
+        m_safe = np.where(np.isneginf(m_new), 0.0, m_new)
+        p = np.exp(logits - m_safe[:, None])
+        rescale = np.exp(np.where(np.isneginf(m), -np.inf, m - m_safe))
+        d = d * rescale + p.sum(axis=1)
+        acc = acc * rescale[:, None] + p @ vt
+        m = m_new
+'''
+
+SOFTMAX_FINALIZE = '''\
+    denom = np.where(d == 0.0, 1.0, d)
+    o = acc / denom[:, None]
+    with np.errstate(divide="ignore"):
+        lse = np.where(d == 0.0, -np.inf, m + np.log(denom))
+    return o, lse
+'''
+
+SUM_ACCUMULATE = '''\
+        weights = np.where(keep, logits, 0.0)
+        acc = acc + weights @ vt
+'''
+
+SUM_FINALIZE = '''\
+    return acc, np.zeros(rows)
+'''
+
+_HELPER_TEMPLATES = {
+    "query_transform": (
+        "def _query_transform(q, q_pos, head, params):\n    return ({expr})\n",
+        "    q = np.asarray(_query_transform(q, q_pos, q_head, params), dtype=np.float64)",
+    ),
+    "key_transform": (
+        "def _key_transform(k, kv_pos, head, params):\n    return ({expr})\n",
+        "        kt = np.asarray(_key_transform(kt, kv_pos_t, kv_head, params), dtype=np.float64)",
+    ),
+    "value_transform": (
+        "def _value_transform(v, kv_pos, head, params):\n    return ({expr})\n",
+        "        vt = np.asarray(_value_transform(vt, kv_pos_t, kv_head, params), dtype=np.float64)",
+    ),
+    "logits_transform": (
+        "def _logits_transform(logits, q_pos, kv_pos, q_head, kv_head, params):\n"
+        "    return ({expr})\n",
+        "        logits = _logits_transform(logits, q_pos_col, kv_pos_row, "
+        "q_head_col, kv_head, params)",
+    ),
+    "logits_mask": (
+        "def _logits_mask(q_pos, kv_pos, q_head, kv_head, params):\n    return ({expr})\n",
+        "        keep &= _logits_mask(q_pos_col, kv_pos_row, q_head_col, kv_head, params)",
+    ),
+}
+
+
+def render_kernel_source(
+    kernel_name: str,
+    variant_name: str,
+    query_transform: Optional[str],
+    key_transform: Optional[str],
+    value_transform: Optional[str],
+    logits_transform: Optional[str],
+    logits_mask: Optional[str],
+    use_softmax: bool,
+) -> str:
+    """Render a specialized kernel module source from functor expressions."""
+    exprs = {
+        "query_transform": query_transform,
+        "key_transform": key_transform,
+        "value_transform": value_transform,
+        "logits_transform": logits_transform,
+        "logits_mask": logits_mask,
+    }
+    helpers = []
+    applies = {}
+    for functor, expr in exprs.items():
+        helper_tpl, apply_line = _HELPER_TEMPLATES[functor]
+        if expr is None:
+            applies[functor] = ""
+        else:
+            helpers.append(helper_tpl.format(expr=expr))
+            applies[functor] = apply_line
+    return MODULE_TEMPLATE.format(
+        kernel_name=kernel_name,
+        variant_name=variant_name,
+        helpers="\n".join(helpers),
+        apply_query_transform=applies["query_transform"],
+        apply_key_transform=applies["key_transform"],
+        apply_value_transform=applies["value_transform"],
+        apply_logits_transform=applies["logits_transform"],
+        apply_logits_mask=applies["logits_mask"],
+        accumulate=SOFTMAX_ACCUMULATE if use_softmax else SUM_ACCUMULATE,
+        finalize=SOFTMAX_FINALIZE if use_softmax else SUM_FINALIZE,
+    )

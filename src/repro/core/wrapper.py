@@ -1,0 +1,598 @@
+"""The user-facing attention wrappers (paper §3.4, Listing 1).
+
+:class:`BatchAttentionWrapper` owns one attention *format*: at construction
+it JIT-compiles the variant kernel for fixed tile sizes and pins the
+persistent grid size; ``plan()`` runs the load-balanced scheduler on CPU and
+copies the plan arrays into fixed-offset workspace sections; ``run()``
+executes the persistent attention + contraction kernels, reading the plan
+*from the workspace* — so a CUDAGraph replay of ``run`` picks up fresh plan
+data without changing any launch argument.
+
+:class:`ComposableAttentionWrapper` stacks one wrapper per format
+(§3.1.2 / §3.4: "FlashInfer creates multiple attention wrappers, each with
+distinct block sizes"), merges the per-format partial states with ``⊕`` and
+applies the variant's output transform once at the end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.composition import distribute_merges
+from repro.core.jit import CompiledKernel, KernelTraits, get_kernel
+from repro.core.kernels import (
+    PARTIAL_ITEMSIZE,
+    HeadConfig,
+    run_mapping,
+)
+from repro.core.scheduler import MergeEntry, SchedulePlan, WorkItem, plan_schedule
+from repro.core.tiles import ctas_per_sm, select_kv_tile, select_q_tile
+from repro.core.variant import AttentionVariant
+from repro.gpu.cost import KernelCostModel, TileCost
+from repro.gpu.cudagraph import CudaGraph
+from repro.gpu.executor import PersistentKernelExecutor, SimReport
+from repro.gpu.spec import A100_40G, GPUSpec
+from repro.gpu.workspace import WorkspaceBuffer
+from repro.sparse.bsr import ceil_div
+from repro.sparse.composable import ComposableFormat
+from repro.sparse.layout import AttentionMapping
+from repro.core.state import merge_states
+from repro.utils.dtypes import StorageDType
+
+_wrapper_counter = itertools.count()
+
+_ITEM_FIELDS = 9  # mapping, group, q_tile, q_start, q_rows, kv_start, kv_stop, kv_head, slot
+_MERGE_FIELDS = 5  # mapping, group, q_start, q_rows, kv_head
+
+
+class BatchAttentionWrapper:
+    """Plan/run attention for one block-sparse format.
+
+    Parameters
+    ----------
+    variant:
+        The attention variant specification (JIT-compiled at init, §3.4).
+    heads:
+        Head geometry (query heads, KV heads, head dim).
+    workspace:
+        User-allocated buffer for plan info and split-KV partial outputs.
+    gpu:
+        Simulated target device; chooses the FA2/FA3 template (Hopper → FA3).
+    avg_qo_len:
+        Task-information hint: expected average query length per group
+        (1 for decode).  Fixes the compile-time query tile size.
+    kv_dtype:
+        KV-cache storage precision (fp16 default; fp8 for Appendix F).
+    fuse_head_groups:
+        GQA head-group fusion (Appendix A).
+    sparse_gather:
+        False for contiguous (ragged dense) KV — enables TMA on Hopper.
+    max_batch_size / max_total_qo:
+        Upper bounds for workspace sizing (Appendix D.3).  Default: pinned
+        from the first ``plan`` call.
+    sm_limit:
+        Restrict the persistent grid to this many SMs, leaving the rest
+        for horizontally fused kernels running in other streams
+        (Appendix E / Nanoflow-style overlap).
+    """
+
+    def __init__(
+        self,
+        variant: AttentionVariant,
+        heads: HeadConfig,
+        workspace: WorkspaceBuffer,
+        gpu: GPUSpec = A100_40G,
+        avg_qo_len: float = 1.0,
+        kv_dtype: StorageDType = StorageDType.FP16,
+        fuse_head_groups: bool = True,
+        sparse_gather: bool = True,
+        causal_hint: bool = True,
+        max_batch_size: Optional[int] = None,
+        max_total_qo: Optional[int] = None,
+        cost_model: Optional[KernelCostModel] = None,
+        name: Optional[str] = None,
+        backend: Optional[str] = None,
+        q_tile: Optional[int] = None,
+        kv_tile: Optional[int] = None,
+        split_kv: bool = True,
+        sm_limit: Optional[int] = None,
+    ):
+        self.variant = variant
+        self.heads = heads
+        self.workspace = workspace
+        self.gpu = gpu
+        self.kv_dtype = kv_dtype
+        self.fuse_head_groups = fuse_head_groups
+        self.sparse_gather = sparse_gather
+        self.split_kv = split_kv
+        self.name = name or f"attn{next(_wrapper_counter)}"
+
+        self.backend = backend or ("fa3" if gpu.supports_tma else "fa2")
+        g_eff = heads.group_size if fuse_head_groups else 1
+        fused_len = avg_qo_len * g_eff
+        self.q_tile = q_tile if q_tile is not None else select_q_tile(fused_len, self.backend)
+        self.kv_tile = (
+            kv_tile
+            if kv_tile is not None
+            else select_kv_tile(self.q_tile, heads.head_dim, kv_dtype, gpu)
+        )
+        # Sparse gathering on Hopper cannot use TMA and pays register
+        # pressure: smaller KV tiles plus a compute penalty (Appendix B).
+        self.compute_penalty = 1.0
+        if self.backend == "fa3" and sparse_gather:
+            self.kv_tile = min(self.kv_tile, 64)
+            self.compute_penalty = 1.06
+
+        self.traits = KernelTraits(
+            head_dim=heads.head_dim,
+            q_tile=self.q_tile,
+            kv_tile=self.kv_tile,
+            is_sparse=sparse_gather,
+            kv_dtype=kv_dtype,
+            backend=self.backend,
+        )
+        self.kernel: CompiledKernel = get_kernel(variant, self.traits)
+
+        occ = max(ctas_per_sm(self.q_tile, self.kv_tile, heads.head_dim, kv_dtype, gpu), 1)
+        #: Persistent grid size, fixed for CUDAGraph compatibility (§3.3.1).
+        #: ``sm_limit`` reserves the remaining SMs for concurrently running
+        #: kernels (Nanoflow-style GEMM/communication overlap, Appendix E).
+        if sm_limit is not None:
+            if not 0 < sm_limit <= gpu.num_sms:
+                raise ValueError(
+                    f"sm_limit must be in [1, {gpu.num_sms}], got {sm_limit}"
+                )
+            self.num_ctas = sm_limit * occ
+        else:
+            self.num_ctas = gpu.num_sms * occ
+
+        # Queries tile over rows; GQA fuses g rows per query (Appendix A).
+        self._sched_q_tile = max(self.q_tile // g_eff, 1)
+        self._max_rows_eff = self._sched_q_tile * g_eff
+
+        self._max_batch_size = max_batch_size
+        self._max_total_qo = max_total_qo
+        self._sections_ready = False
+        self._mapping: Optional[AttentionMapping] = None
+        self._params = variant.bind_params({}) if not variant.params else None
+        self._sm_scale: float = 1.0 / float(np.sqrt(heads.head_dim))
+        self.executor = PersistentKernelExecutor(gpu, cost_model)
+        self.last_report: Optional[SimReport] = None
+        self.plan_count = 0
+
+    # -- workspace layout ---------------------------------------------------
+
+    def _section(self, suffix: str) -> str:
+        return f"{self.name}.{suffix}"
+
+    def _ensure_sections(self, batch_size: int, total_qo: int) -> None:
+        if self._sections_ready:
+            return
+        if self._max_batch_size is None:
+            self._max_batch_size = batch_size
+        if self._max_total_qo is None:
+            self._max_total_qo = total_qo
+        heads_dim = (
+            self.heads.num_kv_heads if self.fuse_head_groups else self.heads.num_qo_heads
+        )
+        max_tiles = (
+            self._max_batch_size + ceil_div(self._max_total_qo, self._sched_q_tile)
+        ) * heads_dim
+        # Split-KV produces at most 2·#CTA partial outputs (Appendix D.3).
+        max_slots = 2 * self.num_ctas
+        max_items = max_tiles + max_slots
+        ws = self.workspace
+        ws.allocate_section(self._section("counts"), 8 * 8)
+        ws.allocate_section(self._section("work_items"), max_items * _ITEM_FIELDS * 8)
+        ws.allocate_section(self._section("cta_indptr"), (self.num_ctas + 1) * 8)
+        ws.allocate_section(self._section("merge_meta"), max_slots * _MERGE_FIELDS * 8)
+        ws.allocate_section(self._section("merge_indptr"), (max_slots + 1) * 8)
+        ws.allocate_section(self._section("merge_slots"), max_slots * 8)
+        d = self.heads.head_dim
+        ws.allocate_section(
+            self._section("partial_o"),
+            max_slots * self._max_rows_eff * d * PARTIAL_ITEMSIZE,
+        )
+        ws.allocate_section(
+            self._section("partial_lse"), max_slots * self._max_rows_eff * PARTIAL_ITEMSIZE
+        )
+        self._max_slots = max_slots
+        self._sections_ready = True
+
+    # -- plan ----------------------------------------------------------------
+
+    def plan(
+        self,
+        mapping: AttentionMapping,
+        params: Optional[dict] = None,
+        sm_scale: Optional[float] = None,
+    ) -> SchedulePlan:
+        """Run the CPU scheduler and stage the plan into the workspace.
+
+        Called once per generation step; not capturable by CUDAGraph (it is
+        host code), exactly as in Listing 1.
+        """
+        heads_dim = (
+            self.heads.num_kv_heads if self.fuse_head_groups else self.heads.num_qo_heads
+        )
+        plan = plan_schedule(
+            mapping.qo_lens,
+            mapping.kv.kv_lens,
+            self._sched_q_tile,
+            self.num_ctas,
+            num_kv_heads=heads_dim,
+            chunk_granularity=self.kv_tile,
+            split_kv=self.split_kv,
+            causal=mapping.causal,
+            q_pos_offset=mapping.q_pos_offset,
+            kv_pos_offset=mapping.kv_pos_offset,
+        )
+        self._ensure_sections(mapping.num_groups, mapping.total_qo)
+        if plan.num_partial_slots > self._max_slots:
+            raise ValueError(
+                f"plan needs {plan.num_partial_slots} partial slots but the "
+                f"workspace was sized for {self._max_slots}; raise "
+                f"max_batch_size/max_total_qo (Appendix D.3)"
+            )
+        item_capacity = self.workspace.section(self._section("work_items")).nbytes // (
+            _ITEM_FIELDS * 8
+        )
+        if plan.num_work_items > item_capacity:
+            raise ValueError(
+                f"plan has {plan.num_work_items} work items but the workspace "
+                f"was sized for {item_capacity}; pass larger "
+                f"max_batch_size/max_total_qo upper bounds at wrapper "
+                f"construction (Appendix D.3)"
+            )
+        self._write_plan(plan)
+        self._mapping = mapping
+        self._params = self.variant.bind_params(params)
+        if sm_scale is not None:
+            self._sm_scale = float(sm_scale)
+        self.plan_count += 1
+        return plan
+
+    def _write_plan(self, plan: SchedulePlan) -> None:
+        items: List[WorkItem] = [w for q in plan.cta_queues for w in q]
+        cta_indptr = np.zeros(self.num_ctas + 1, dtype=np.int64)
+        np.cumsum([len(q) for q in plan.cta_queues], out=cta_indptr[1:])
+        item_arr = np.asarray(
+            [
+                (
+                    w.mapping_idx, w.group, w.q_tile, w.q_start, w.q_rows,
+                    w.kv_start, w.kv_stop, w.kv_head, w.partial_slot,
+                )
+                for w in items
+            ],
+            dtype=np.int64,
+        ).reshape(len(items), _ITEM_FIELDS)
+        merge_meta = np.asarray(
+            [
+                (m.mapping_idx, m.group, m.q_start, m.q_rows, m.kv_head)
+                for m in plan.merges
+            ],
+            dtype=np.int64,
+        ).reshape(len(plan.merges), _MERGE_FIELDS)
+        merge_indptr = np.zeros(len(plan.merges) + 1, dtype=np.int64)
+        np.cumsum([len(m.slots) for m in plan.merges], out=merge_indptr[1:])
+        merge_slots = np.asarray(
+            [s for m in plan.merges for s in m.slots], dtype=np.int64
+        )
+        counts = np.asarray(
+            [
+                len(items), len(plan.merges), merge_slots.size,
+                plan.num_partial_slots, plan.q_tile_size, plan.kv_chunk_size,
+                0, 0,
+            ],
+            dtype=np.int64,
+        )
+        ws = self.workspace
+        ws.write(self._section("counts"), counts)
+        if item_arr.size:
+            ws.write(self._section("work_items"), item_arr)
+        ws.write(self._section("cta_indptr"), cta_indptr)
+        if merge_meta.size:
+            ws.write(self._section("merge_meta"), merge_meta)
+        ws.write(self._section("merge_indptr"), merge_indptr)
+        if merge_slots.size:
+            ws.write(self._section("merge_slots"), merge_slots)
+
+    def _read_plan(self) -> SchedulePlan:
+        """Reconstruct the plan from workspace contents (the kernel's view)."""
+        ws = self.workspace
+        counts = ws.read(self._section("counts"), np.int64, 8)
+        n_items, n_merges, n_slots, n_partial, q_tile_size, kv_chunk = (
+            int(counts[0]), int(counts[1]), int(counts[2]), int(counts[3]),
+            int(counts[4]), int(counts[5]),
+        )
+        item_arr = ws.read(
+            self._section("work_items"), np.int64, n_items * _ITEM_FIELDS
+        ).reshape(n_items, _ITEM_FIELDS)
+        cta_indptr = ws.read(self._section("cta_indptr"), np.int64, self.num_ctas + 1)
+        queues: List[List[WorkItem]] = []
+        for c in range(self.num_ctas):
+            queues.append(
+                [WorkItem(*row) for row in item_arr[cta_indptr[c] : cta_indptr[c + 1]]]
+            )
+        merge_meta = ws.read(
+            self._section("merge_meta"), np.int64, n_merges * _MERGE_FIELDS
+        ).reshape(n_merges, _MERGE_FIELDS)
+        merge_indptr = ws.read(self._section("merge_indptr"), np.int64, n_merges + 1)
+        merge_slots = ws.read(self._section("merge_slots"), np.int64, n_slots)
+        merges = [
+            MergeEntry(
+                int(merge_meta[i, 0]), int(merge_meta[i, 1]), int(merge_meta[i, 2]),
+                int(merge_meta[i, 3]), int(merge_meta[i, 4]),
+                tuple(int(s) for s in merge_slots[merge_indptr[i] : merge_indptr[i + 1]]),
+            )
+            for i in range(n_merges)
+        ]
+        return SchedulePlan(
+            cta_queues=queues,
+            merges=merges,
+            num_partial_slots=n_partial,
+            q_tile_size=q_tile_size,
+            kv_chunk_size=kv_chunk,
+        )
+
+    # -- run -------------------------------------------------------------------
+
+    def _simulate_fast(self) -> SimReport:
+        """Cost-only execution: vectorized over the serialized plan arrays.
+
+        Equivalent to the per-item path (pinned by ``tests/test_simulate``)
+        but ~100× faster — used by benchmarks and the serving engine.
+        """
+        from repro.core.simulate import (
+            item_cost_arrays,
+            merge_cost_arrays,
+            simulate_queues,
+        )
+
+        ws = self.workspace
+        counts = ws.read(self._section("counts"), np.int64, 8)
+        n_items, n_merges = int(counts[0]), int(counts[1])
+        item_arr = ws.read(
+            self._section("work_items"), np.int64, n_items * _ITEM_FIELDS
+        ).reshape(n_items, _ITEM_FIELDS)
+        cta_indptr = ws.read(self._section("cta_indptr"), np.int64, self.num_ctas + 1)
+        cta_of_item = np.repeat(np.arange(self.num_ctas), np.diff(cta_indptr))
+        g_eff = self.heads.group_size if self.fuse_head_groups else 1
+        compute_share = min(1.0, self.gpu.num_sms / self.num_ctas)
+        costs = item_cost_arrays(
+            item_arr, self._mapping, self.heads, self.kv_tile, self.kv_dtype,
+            int(counts[4]), self.fuse_head_groups, self.traits.uses_tensor_cores,
+            self.sparse_gather, self.executor.cost_model, compute_share,
+            self.compute_penalty,
+        )
+        report = simulate_queues(self.executor, costs, cta_of_item, self.num_ctas)
+        if n_merges:
+            merge_meta = ws.read(
+                self._section("merge_meta"), np.int64, n_merges * _MERGE_FIELDS
+            ).reshape(n_merges, _MERGE_FIELDS)
+            merge_indptr = ws.read(self._section("merge_indptr"), np.int64, n_merges + 1)
+            mcosts = merge_cost_arrays(
+                np.diff(merge_indptr), merge_meta[:, 3] * g_eff,
+                self.heads.head_dim, self.executor.cost_model, compute_share,
+            )
+            merge_cta = np.arange(n_merges) % self.num_ctas
+            report = report.combine(
+                simulate_queues(self.executor, mcosts, merge_cta, self.num_ctas)
+            )
+        return report
+
+    def _signature(self) -> Tuple:
+        """Launch-time arguments CUDAGraph freezes."""
+        secs = tuple(
+            self.workspace.section(self._section(s)).address
+            for s in ("counts", "work_items", "cta_indptr", "partial_o", "partial_lse")
+        )
+        return (self.num_ctas, self.traits.q_tile, self.traits.kv_tile, secs)
+
+    def run(
+        self,
+        q: Optional[np.ndarray],
+        k_pool: Optional[np.ndarray] = None,
+        v_pool: Optional[np.ndarray] = None,
+        out: Optional[np.ndarray] = None,
+        lse: Optional[np.ndarray] = None,
+        compute: bool = True,
+        apply_output_transform: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray, SimReport]:
+        """Execute the attention + contraction kernels under the cached plan.
+
+        Returns ``(out, lse, report)``.  ``out``/``lse`` rows not covered by
+        this wrapper's mapping are left untouched (``lse`` stays ``-inf``),
+        so composable formats can ``⊕``-merge several wrappers' results.
+
+        ``q`` may be ``None`` for cost-only runs (``compute=False``) — the
+        simulated-GPU report is produced without touching any tensor data.
+        """
+        if self._mapping is None:
+            raise RuntimeError("run() before plan()")
+        mapping = self._mapping
+        if q is None:
+            if compute:
+                raise ValueError("compute=True requires q/k_pool/v_pool tensors")
+            total_q = (
+                int((mapping.q_row_starts + mapping.qo_lens).max())
+                if mapping.num_groups
+                else 0
+            )
+        else:
+            total_q = q.shape[0]
+        if compute and out is None:
+            out = np.zeros((total_q, self.heads.num_qo_heads, self.heads.head_dim))
+        if compute and lse is None:
+            lse = np.full((total_q, self.heads.num_qo_heads), -np.inf)
+
+        d = self.heads.head_dim
+        partial_o = self.workspace.view(self._section("partial_o"), np.float32)[
+            : self._max_slots * self._max_rows_eff * d
+        ].reshape(self._max_slots, self._max_rows_eff, d)
+        partial_lse = self.workspace.view(self._section("partial_lse"), np.float32)[
+            : self._max_slots * self._max_rows_eff
+        ].reshape(self._max_slots, self._max_rows_eff)
+
+        def launch() -> SimReport:
+            if not compute:
+                report = self._simulate_fast()
+            else:
+                plan = self._read_plan()
+                cost_queues, merge_costs = run_mapping(
+                    q, k_pool, v_pool, mapping, plan, self.kernel, self.heads,
+                    self._params, self._sm_scale, self.kv_tile, out, lse,
+                    partial_o, partial_lse, kv_dtype=self.kv_dtype,
+                    fuse_head_groups=self.fuse_head_groups,
+                    sparse_gather=self.sparse_gather,
+                    uses_tensor_cores=self.traits.uses_tensor_cores,
+                    compute=True, compute_penalty=self.compute_penalty,
+                )
+                report = self.executor.run_persistent(cost_queues)
+                if merge_costs:
+                    merge_queues = distribute_merges(plan.merges, self.num_ctas)
+                    cost_by_cta = [[merge_costs[i] for i in q_] for q_ in merge_queues]
+                    report = report.combine(self.executor.run_persistent(cost_by_cta))
+            self.last_report = report
+            return report
+
+        launch.current_signature = self._signature  # type: ignore[attr-defined]
+        report = CudaGraph.add_launch(launch, self._signature(), name=self.name)
+
+        if compute and apply_output_transform and self.kernel.output_transform is not None:
+            covered = np.zeros(total_q, dtype=bool)
+            for g in range(mapping.num_groups):
+                s = int(mapping.q_row_starts[g])
+                covered[s : s + int(mapping.qo_lens[g])] = True
+            rows = np.nonzero(covered)[0]
+            for h in range(self.heads.num_qo_heads):
+                out[rows, h, :] = self.kernel.output_transform(
+                    out[rows, h, :], rows, h, self._params
+                )
+        return out, lse, report
+
+
+class ComposableAttentionWrapper:
+    """A stack of per-format wrappers merged with ``⊕`` (§3.1.2).
+
+    One :class:`BatchAttentionWrapper` per format, each with its own block
+    sizes; ``run`` merges the per-format partial states and applies the
+    variant's output transform once.
+    """
+
+    def __init__(
+        self,
+        variant: AttentionVariant,
+        heads: HeadConfig,
+        workspace: WorkspaceBuffer,
+        gpu: GPUSpec = A100_40G,
+        **wrapper_kwargs,
+    ):
+        self.variant = variant
+        self.heads = heads
+        self.workspace = workspace
+        self.gpu = gpu
+        self._kwargs = wrapper_kwargs
+        self.wrappers: List[BatchAttentionWrapper] = []
+        self._format: Optional[ComposableFormat] = None
+        self.last_report: Optional[SimReport] = None
+
+    def plan(
+        self,
+        formats: Union[ComposableFormat, AttentionMapping],
+        params: Optional[dict] = None,
+        sm_scale: Optional[float] = None,
+    ) -> None:
+        if isinstance(formats, AttentionMapping):
+            formats = ComposableFormat.single(formats)
+        if self.wrappers and len(self.wrappers) != len(formats):
+            raise ValueError(
+                f"wrapper stack was built for {len(self.wrappers)} formats, "
+                f"got {len(formats)}; composable configurations need separate "
+                f"wrappers/CUDAGraphs (§3.4)"
+            )
+        if not self.wrappers:
+            for i, m in enumerate(formats):
+                avg = float(np.mean(m.qo_lens)) if m.num_groups else 1.0
+                if m.block_row_size:
+                    avg = max(avg, float(m.block_row_size))
+                # Unique names: several composable stacks may share one
+                # workspace (e.g. decode and prefill configurations), and
+                # section names must not collide.
+                self.wrappers.append(
+                    BatchAttentionWrapper(
+                        self.variant, self.heads, self.workspace, self.gpu,
+                        avg_qo_len=avg,
+                        name=f"fmt{i}_{m.label}_{next(_wrapper_counter)}",
+                        **self._kwargs,
+                    )
+                )
+        for w, m in zip(self.wrappers, formats):
+            w.plan(m, params=params, sm_scale=sm_scale)
+        self._format = formats
+
+    def run(
+        self,
+        q: Optional[np.ndarray],
+        k_pool: Optional[np.ndarray] = None,
+        v_pool: Optional[np.ndarray] = None,
+        compute: bool = True,
+    ) -> Tuple[Optional[np.ndarray], SimReport]:
+        """Run every format and contract their states into the final output."""
+        if self._format is None:
+            raise RuntimeError("run() before plan()")
+        if q is None:
+            if compute:
+                raise ValueError("compute=True requires q/k_pool/v_pool tensors")
+            total_q = self._format.total_qo
+        else:
+            total_q = q.shape[0]
+        h, d = self.heads.num_qo_heads, self.heads.head_dim
+        acc_o = np.zeros((total_q, h, d)) if compute else None
+        acc_lse = np.full((total_q, h), -np.inf) if compute else None
+        report: Optional[SimReport] = None
+        merge_traffic = 0.0
+        for i, w in enumerate(self.wrappers):
+            o_f = np.zeros((total_q, h, d)) if compute else None
+            lse_f = np.full((total_q, h), -np.inf) if compute else None
+            _, _, rep = w.run(
+                q, k_pool, v_pool, out=o_f, lse=lse_f, compute=compute,
+                apply_output_transform=False,
+            )
+            report = rep if report is None else report.combine(rep)
+            if compute:
+                if self.variant.use_softmax:
+                    acc_o, acc_lse = merge_states(acc_o, acc_lse, o_f, lse_f)
+                else:
+                    acc_o = acc_o + o_f
+            if i > 0:
+                # Cross-format contraction traffic: read two states, write one.
+                covered = int(np.sum(w._mapping.qo_lens)) if w._mapping else 0
+                merge_traffic += 3.0 * covered * h * (d + 1) * PARTIAL_ITEMSIZE
+        if merge_traffic and report is not None:
+            merge_cost = TileCost(
+                flops=0.0, padded_flops=0.0,
+                bytes_read=merge_traffic * 2 / 3, bytes_written=merge_traffic / 3,
+                uses_tensor_cores=False,
+            )
+            exe = self.wrappers[0].executor
+            n = self.wrappers[0].num_ctas
+            per = TileCost(
+                flops=0.0, padded_flops=0.0,
+                bytes_read=merge_cost.bytes_read / n,
+                bytes_written=merge_cost.bytes_written / n,
+                uses_tensor_cores=False,
+            )
+            report = report.combine(exe.run_persistent([[per] for _ in range(n)]))
+        out = acc_o
+        if compute:
+            out_fn = self.wrappers[0].kernel.output_transform
+            if out_fn is not None:
+                rows = np.arange(total_q)
+                for hh in range(h):
+                    out[:, hh, :] = out_fn(out[:, hh, :], rows, hh, self.wrappers[0]._params)
+        self.last_report = report
+        return out, report

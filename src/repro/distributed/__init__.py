@@ -1,0 +1,13 @@
+"""Distributed attention built on the attention-state algebra.
+
+Paper §2.2: "Ring-Attention and Flash-Decoding utilize this property
+[⊕-composability] to offload partial-attention computations."  This
+package demonstrates the cross-device half of that claim: sequence-
+parallel ring attention where every device holds one KV shard, computes
+partial states against rotating shards, and merges with ``⊕`` — plus a
+communication/compute overlap cost model over the simulated GPUs.
+"""
+
+from repro.distributed.ring import RingAttention, RingReport
+
+__all__ = ["RingAttention", "RingReport"]

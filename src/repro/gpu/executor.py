@@ -1,0 +1,264 @@
+"""Simulated kernel execution: event-driven roofline with shared bandwidth.
+
+Each work tile contributes two concurrent streams (the software-pipelined
+roofline assumption):
+
+* a **serial stream** — tensor-core/CUDA-core compute plus fixed per-tile
+  latencies, running at the CTA's share of its SM;
+* a **memory stream** — HBM traffic, drained at a *globally shared* rate:
+  active CTAs split the device bandwidth equally, capped at what a single
+  SM can pull.  This is the crucial property for the paper's phenomena:
+  when load imbalance leaves few CTAs running, the stragglers cannot use
+  the idle SMs' bandwidth beyond the per-SM cap, so decode tails crawl —
+  and split-KV (FlashInfer's scheduler, flash-decoding) recovers exactly
+  that bandwidth.
+
+Two launch disciplines are modelled:
+
+* **persistent kernels** (FlashInfer §3.3.1): fixed grid, CTA ``i`` drains
+  queue ``i``; per-CTA work is aggregated (the pipeline overlaps tiles).
+* **grid launches** (the FlashAttention-library baseline): one block per
+  tile, dispatched in submission order to free SM slots — wave
+  quantization and tail imbalance appear naturally.
+
+Reported utilizations (the quantities of paper Figure 8) divide useful
+FLOPs / traffic by makespan and the device peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu.cost import KernelCostModel, TileCost
+from repro.gpu.spec import GPUSpec
+
+#: Fraction of peak HBM bandwidth one SM can sustain alone.  Microbenchmarks
+#: put a single SM's streaming rate at a few percent of the device peak;
+#: 5% makes a lone straggler ~20× slower than a balanced grid on A100.
+SINGLE_SM_BANDWIDTH_FRACTION = 0.05
+
+_EPS = 1e-18
+
+
+@dataclass
+class SimReport:
+    """Outcome of one simulated kernel execution."""
+
+    makespan: float
+    total_flops: float
+    total_bytes: float
+    num_tiles: int
+    num_ctas: int
+    per_cta_time: List[float]
+
+    @property
+    def balance(self) -> float:
+        """Mean CTA busy time / max CTA busy time (1.0 = perfectly balanced)."""
+        busy = list(self.per_cta_time)
+        if not busy or max(busy) == 0:
+            return 1.0
+        return sum(busy) / (len(busy) * max(busy))
+
+    def achieved_bandwidth(self) -> float:
+        """Useful bytes per second over the whole execution."""
+        return self.total_bytes / self.makespan if self.makespan > 0 else 0.0
+
+    def bandwidth_utilization(self, spec: GPUSpec) -> float:
+        return self.achieved_bandwidth() / spec.peak_bandwidth_bytes
+
+    def achieved_flops(self) -> float:
+        return self.total_flops / self.makespan if self.makespan > 0 else 0.0
+
+    def flops_utilization(self, spec: GPUSpec) -> float:
+        return self.achieved_flops() / spec.peak_fp16_flops
+
+    def combine(self, other: "SimReport") -> "SimReport":
+        """Sequential composition of two kernel executions."""
+        return SimReport(
+            makespan=self.makespan + other.makespan,
+            total_flops=self.total_flops + other.total_flops,
+            total_bytes=self.total_bytes + other.total_bytes,
+            num_tiles=self.num_tiles + other.num_tiles,
+            num_ctas=max(self.num_ctas, other.num_ctas),
+            per_cta_time=[],
+        )
+
+
+class PersistentKernelExecutor:
+    """Executes simulated work under a cost model on a :class:`GPUSpec`."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        cost_model: Optional[KernelCostModel] = None,
+        single_sm_bw_fraction: float = SINGLE_SM_BANDWIDTH_FRACTION,
+    ):
+        self.spec = spec
+        self.cost_model = cost_model if cost_model is not None else KernelCostModel(spec)
+        self.single_sm_bw_fraction = single_sm_bw_fraction
+
+    # -- tile → stream conversion -------------------------------------------
+
+    def _streams(self, cost: TileCost, compute_share: float) -> Tuple[float, float]:
+        """Return ``(serial_seconds, memory_bytes)`` for one tile."""
+        cm = self.cost_model
+        roof = (
+            self.spec.sm_fp16_flops * cm.mma_efficiency
+            if cost.uses_tensor_cores
+            else self.spec.sm_cuda_core_flops
+        ) * compute_share
+        serial = (
+            cost.padded_flops / roof
+            + cost.n_gather_segments * cm.gather_issue_overhead
+            + cm.tile_latency
+        )
+        mem = (cm.effective_bytes_read(cost) + cost.bytes_written) / cm.mem_efficiency
+        return serial, mem
+
+    # -- launch disciplines ----------------------------------------------------
+
+    def run_persistent(self, cta_queues: Sequence[Sequence[TileCost]]) -> SimReport:
+        """Fixed-grid persistent kernel: CTA ``i`` drains ``cta_queues[i]``."""
+        n = len(cta_queues)
+        if n == 0:
+            return SimReport(self.spec.kernel_dispatch_overhead, 0.0, 0.0, 0, 0, [])
+        compute_share = min(1.0, self.spec.num_sms / n)
+        resident = max(1, -(-n // self.spec.num_sms))
+        serial = np.zeros(n)
+        mem = np.zeros(n)
+        total_flops = total_bytes = 0.0
+        num_tiles = 0
+        for i, queue in enumerate(cta_queues):
+            for cost in queue:
+                s, m = self._streams(cost, compute_share)
+                serial[i] += s
+                mem[i] += m
+                total_flops += cost.flops
+                total_bytes += cost.bytes_read + cost.bytes_written
+                num_tiles += 1
+        finish = self._drain(serial, mem, resident)
+        makespan = float(finish.max()) + self.spec.kernel_dispatch_overhead
+        return SimReport(
+            makespan=makespan,
+            total_flops=total_flops,
+            total_bytes=total_bytes,
+            num_tiles=num_tiles,
+            num_ctas=n,
+            per_cta_time=finish.tolist(),
+        )
+
+    def run_grid(self, block_costs: Sequence[TileCost], ctas_per_sm: int = 1) -> SimReport:
+        """One thread block per tile, dispatched in order to free SM slots."""
+        blocks = list(block_costs)
+        if not blocks:
+            return SimReport(self.spec.kernel_dispatch_overhead, 0.0, 0.0, 0, 0, [])
+        slots = self.spec.num_sms * max(1, ctas_per_sm)
+        compute_share = min(1.0, self.spec.num_sms / slots)
+        resident = max(1, ctas_per_sm)
+        streams = [self._streams(c, compute_share) for c in blocks]
+        total_flops = sum(c.flops for c in blocks)
+        total_bytes = sum(c.bytes_read + c.bytes_written for c in blocks)
+
+        makespan, slot_busy = self._drain_dynamic(streams, slots, resident)
+        return SimReport(
+            makespan=makespan + self.spec.kernel_dispatch_overhead,
+            total_flops=total_flops,
+            total_bytes=total_bytes,
+            num_tiles=len(blocks),
+            num_ctas=slots,
+            per_cta_time=slot_busy,
+        )
+
+    # -- the shared-bandwidth drains --------------------------------------------
+
+    def _cta_bw_cap(self, resident: int) -> float:
+        return self.spec.peak_bandwidth_bytes * self.single_sm_bw_fraction / resident
+
+    def _drain(self, serial: np.ndarray, mem: np.ndarray, resident: int) -> np.ndarray:
+        """All jobs start at t=0; return per-job finish times.
+
+        Serial streams progress at rate 1; memory streams share the device
+        bandwidth (equal split among jobs with bytes remaining, capped per
+        CTA).  A job finishes when both streams drain.
+        """
+        n = serial.size
+        rem_s = serial.astype(np.float64).copy()
+        rem_m = mem.astype(np.float64).copy()
+        finish = np.zeros(n)
+        cap = self._cta_bw_cap(resident)
+        peak = self.spec.peak_bandwidth_bytes
+        t = 0.0
+        active = (rem_s > _EPS) | (rem_m > _EPS)
+        while active.any():
+            mem_active = active & (rem_m > _EPS)
+            n_mem = int(mem_active.sum())
+            bw = min(cap, peak / n_mem) if n_mem else 0.0
+            # Next stream completion.
+            dt = np.inf
+            s_live = active & (rem_s > _EPS)
+            if s_live.any():
+                dt = min(dt, float(rem_s[s_live].min()))
+            if n_mem and bw > 0:
+                dt = min(dt, float(rem_m[mem_active].min()) / bw)
+            if not np.isfinite(dt):
+                break
+            dt = max(dt, _EPS)
+            t += dt
+            rem_s[s_live] -= dt
+            if n_mem:
+                rem_m[mem_active] -= bw * dt
+            np.clip(rem_s, 0.0, None, out=rem_s)
+            np.clip(rem_m, 0.0, None, out=rem_m)
+            done = active & (rem_s <= _EPS) & (rem_m <= _EPS)
+            finish[done] = t
+            active &= ~done
+        return finish
+
+    def _drain_dynamic(
+        self, streams: Sequence[Tuple[float, float]], slots: int, resident: int
+    ) -> Tuple[float, List[float]]:
+        """Blocks start when a slot frees (submission order)."""
+        cap = self._cta_bw_cap(resident)
+        peak = self.spec.peak_bandwidth_bytes
+        pending = list(reversed(streams))  # pop() takes the next block
+        run_s = np.zeros(slots)
+        run_m = np.zeros(slots)
+        occupied = np.zeros(slots, dtype=bool)
+        slot_busy = [0.0] * slots
+        t = 0.0
+        while pending or occupied.any():
+            # Fill free slots.
+            for i in range(slots):
+                if not occupied[i] and pending:
+                    s, m = pending.pop()
+                    run_s[i], run_m[i] = s, m
+                    occupied[i] = True
+            mem_active = occupied & (run_m > _EPS)
+            n_mem = int(mem_active.sum())
+            bw = min(cap, peak / n_mem) if n_mem else 0.0
+            dt = np.inf
+            s_live = occupied & (run_s > _EPS)
+            if s_live.any():
+                dt = min(dt, float(run_s[s_live].min()))
+            if n_mem and bw > 0:
+                dt = min(dt, float(run_m[mem_active].min()) / bw)
+            if not np.isfinite(dt):
+                # All running jobs have both streams drained; free them.
+                done = occupied & (run_s <= _EPS) & (run_m <= _EPS)
+                occupied &= ~done
+                continue
+            dt = max(dt, _EPS)
+            t += dt
+            run_s[s_live] -= dt
+            if n_mem:
+                run_m[mem_active] -= bw * dt
+            np.clip(run_s, 0.0, None, out=run_s)
+            np.clip(run_m, 0.0, None, out=run_m)
+            done = occupied & (run_s <= _EPS) & (run_m <= _EPS)
+            for i in np.nonzero(done)[0]:
+                slot_busy[i] = t
+            occupied &= ~done
+        return t, slot_busy

@@ -1,0 +1,22 @@
+"""KV-cache storage managers.
+
+Three managers mirror the structures the paper unifies under BSR (§3.1.1):
+
+* :class:`PagedKVCache` — vLLM-style page table over a fixed pool of pages,
+  with refcounted pages so sequences can share prefixes (fork /
+  copy-on-write) without copying KV data.
+* :class:`RadixTree` — SGLang-style token-level prefix cache mapping token
+  sequences to cached pages, with LRU eviction of unreferenced leaves.
+* :class:`StreamingKVCache` — StreamingLLM sinks + rolling window with
+  cache-position semantics (the §4.3 case study).
+
+All export their per-sequence structure as
+:class:`repro.sparse.BlockSparseKV`, which is what the attention kernels
+consume.
+"""
+
+from repro.kvcache.paged import OutOfPagesError, PagedKVCache
+from repro.kvcache.radix import RadixTree
+from repro.kvcache.streaming import StreamingKVCache
+
+__all__ = ["OutOfPagesError", "PagedKVCache", "RadixTree", "StreamingKVCache"]

@@ -1,0 +1,315 @@
+"""Paged KV cache: a vLLM-style page table over a fixed slot pool.
+
+The cache owns two pools ``(pool_slots, num_kv_heads, head_dim)`` for keys
+and values, carved into pages of ``page_size`` slots.  Sequences hold
+ordered page lists; pages are refcounted so that forked sequences (parallel
+generation) and radix-cached prefixes share physical pages.  Appending to a
+shared partial page triggers copy-on-write.
+
+The exported structure (:meth:`layout`) is the ``(kv_indptr, kv_indices,
+last_page_len)`` triple of the paper, wrapped as
+:class:`repro.sparse.BlockSparseKV`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sparse.layout import BlockSparseKV
+from repro.utils.validation import check_positive
+
+
+class OutOfPagesError(RuntimeError):
+    """Raised when an allocation cannot be satisfied from the free pool."""
+
+
+class _SeqState:
+    __slots__ = ("pages", "length")
+
+    def __init__(self) -> None:
+        self.pages: List[int] = []
+        self.length: int = 0
+
+
+class PagedKVCache:
+    """Fixed-pool paged KV cache with refcounted pages.
+
+    Parameters
+    ----------
+    num_pages:
+        Total pages in the pool.
+    page_size:
+        Slots (tokens) per page — the BSR column block size ``B_c``.
+        ``page_size=1`` gives the vector-sparse layout.
+    num_kv_heads, head_dim:
+        Shape of each slot's K and V entries.
+    """
+
+    def __init__(
+        self,
+        num_pages: int,
+        page_size: int,
+        num_kv_heads: int,
+        head_dim: int,
+        materialize: bool = True,
+    ):
+        check_positive(num_pages, "num_pages")
+        check_positive(page_size, "page_size")
+        check_positive(num_kv_heads, "num_kv_heads")
+        check_positive(head_dim, "head_dim")
+        self.num_pages = num_pages
+        self.page_size = page_size
+        self.num_kv_heads = num_kv_heads
+        self.head_dim = head_dim
+        self.materialized = materialize
+        total_slots = num_pages * page_size
+        if materialize:
+            self.k_pool = np.zeros((total_slots, num_kv_heads, head_dim), dtype=np.float32)
+            self.v_pool = np.zeros((total_slots, num_kv_heads, head_dim), dtype=np.float32)
+        else:
+            # Structure-only mode for cost simulations: page-table accounting
+            # without backing storage (append/gather are unavailable).
+            self.k_pool = None
+            self.v_pool = None
+        self._free: List[int] = list(range(num_pages - 1, -1, -1))
+        self._refcount = np.zeros(num_pages, dtype=np.int64)
+        self._seqs: Dict[int, _SeqState] = {}
+        self._next_seq_id = 0
+
+    # -- pool accounting -----------------------------------------------------
+
+    @property
+    def num_free_pages(self) -> int:
+        return len(self._free)
+
+    @property
+    def num_used_pages(self) -> int:
+        return self.num_pages - len(self._free)
+
+    def page_refcount(self, page: int) -> int:
+        return int(self._refcount[page])
+
+    def _alloc_page(self) -> int:
+        if not self._free:
+            raise OutOfPagesError("KV-cache pool exhausted")
+        page = self._free.pop()
+        self._refcount[page] = 1
+        return page
+
+    def _release_page(self, page: int) -> None:
+        self._refcount[page] -= 1
+        if self._refcount[page] == 0:
+            self._free.append(page)
+        elif self._refcount[page] < 0:
+            raise AssertionError(f"page {page} refcount underflow")
+
+    def retain_pages(self, pages: Sequence[int]) -> None:
+        """Add an external reference to ``pages`` (used by the radix cache)."""
+        for p in pages:
+            if self._refcount[p] <= 0:
+                raise ValueError(f"page {p} is not live")
+            self._refcount[p] += 1
+
+    def release_pages(self, pages: Sequence[int]) -> None:
+        """Drop an external reference added with :meth:`retain_pages`."""
+        for p in pages:
+            self._release_page(p)
+
+    # -- sequence lifecycle ---------------------------------------------------
+
+    def new_seq(self, shared_pages: Sequence[int] = (), shared_len: int = 0) -> int:
+        """Create a sequence, optionally starting from cached prefix pages.
+
+        ``shared_len`` must fill the shared pages completely (prefix caching
+        hands over only whole pages).
+        """
+        if shared_len != len(shared_pages) * self.page_size:
+            raise ValueError(
+                f"shared_len ({shared_len}) must equal "
+                f"len(shared_pages) * page_size ({len(shared_pages) * self.page_size})"
+            )
+        seq_id = self._next_seq_id
+        self._next_seq_id += 1
+        st = _SeqState()
+        st.pages = list(shared_pages)
+        st.length = shared_len
+        for p in st.pages:
+            if self._refcount[p] <= 0:
+                raise ValueError(f"shared page {p} is not live")
+            self._refcount[p] += 1
+        self._seqs[seq_id] = st
+        return seq_id
+
+    def fork_seq(self, seq_id: int) -> int:
+        """Fork a sequence, sharing all full pages; the partial last page is
+        copied (copy-on-write happens eagerly here for simplicity)."""
+        st = self._state(seq_id)
+        new_id = self._next_seq_id
+        self._next_seq_id += 1
+        new_st = _SeqState()
+        new_st.length = st.length
+        full = st.length // self.page_size
+        new_st.pages = st.pages[:full]
+        for p in new_st.pages:
+            self._refcount[p] += 1
+        rem = st.length - full * self.page_size
+        if rem:
+            src = st.pages[full]
+            dst = self._alloc_page()
+            if self.materialized:
+                s0, d0 = src * self.page_size, dst * self.page_size
+                self.k_pool[d0 : d0 + rem] = self.k_pool[s0 : s0 + rem]
+                self.v_pool[d0 : d0 + rem] = self.v_pool[s0 : s0 + rem]
+            new_st.pages.append(dst)
+        self._seqs[new_id] = new_st
+        return new_id
+
+    def free_seq(self, seq_id: int) -> None:
+        st = self._state(seq_id)
+        for p in st.pages:
+            self._release_page(p)
+        del self._seqs[seq_id]
+
+    def _state(self, seq_id: int) -> _SeqState:
+        try:
+            return self._seqs[seq_id]
+        except KeyError:
+            raise KeyError(f"unknown sequence id {seq_id}") from None
+
+    # -- data path -------------------------------------------------------------
+
+    def append(self, seq_id: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Append new K/V entries ``(n, num_kv_heads, head_dim)`` to a sequence.
+
+        Allocates pages on demand; copy-on-write if the partial last page is
+        shared with another sequence.
+        """
+        k = np.asarray(k, dtype=np.float32)
+        v = np.asarray(v, dtype=np.float32)
+        if k.shape != v.shape:
+            raise ValueError(f"k shape {k.shape} != v shape {v.shape}")
+        if k.ndim != 3 or k.shape[1:] != (self.num_kv_heads, self.head_dim):
+            raise ValueError(
+                f"k/v must have shape (n, {self.num_kv_heads}, {self.head_dim}), got {k.shape}"
+            )
+        if not self.materialized:
+            raise RuntimeError("append() requires a materialized cache")
+        st = self._state(seq_id)
+        n = k.shape[0]
+        written = 0
+        while written < n:
+            offset = st.length % self.page_size
+            if offset == 0:
+                st.pages.append(self._alloc_page())
+            else:
+                page = st.pages[-1]
+                if self._refcount[page] > 1:
+                    # Copy-on-write: unshare the partial page before writing.
+                    new_page = self._alloc_page()
+                    s0, d0 = page * self.page_size, new_page * self.page_size
+                    self.k_pool[d0 : d0 + offset] = self.k_pool[s0 : s0 + offset]
+                    self.v_pool[d0 : d0 + offset] = self.v_pool[s0 : s0 + offset]
+                    self._release_page(page)
+                    st.pages[-1] = new_page
+            page = st.pages[-1]
+            take = min(n - written, self.page_size - st.length % self.page_size)
+            slot0 = page * self.page_size + st.length % self.page_size
+            self.k_pool[slot0 : slot0 + take] = k[written : written + take]
+            self.v_pool[slot0 : slot0 + take] = v[written : written + take]
+            st.length += take
+            written += take
+
+    def extend(self, seq_id: int, n_tokens: int) -> None:
+        """Grow a sequence by ``n_tokens`` without writing K/V data.
+
+        Allocates pages (with the same copy-on-write rules as
+        :meth:`append`) and advances the length; used by cost-only serving
+        simulations where only the page-table *structure* matters.
+        """
+        if n_tokens < 0:
+            raise ValueError("n_tokens must be non-negative")
+        st = self._state(seq_id)
+        remaining = n_tokens
+        while remaining > 0:
+            offset = st.length % self.page_size
+            if offset == 0:
+                st.pages.append(self._alloc_page())
+            else:
+                page = st.pages[-1]
+                if self._refcount[page] > 1:
+                    new_page = self._alloc_page()
+                    if self.materialized:
+                        s0, d0 = page * self.page_size, new_page * self.page_size
+                        self.k_pool[d0 : d0 + offset] = self.k_pool[s0 : s0 + offset]
+                        self.v_pool[d0 : d0 + offset] = self.v_pool[s0 : s0 + offset]
+                    self._release_page(page)
+                    st.pages[-1] = new_page
+            take = min(remaining, self.page_size - st.length % self.page_size)
+            st.length += take
+            remaining -= take
+
+    def truncate(self, seq_id: int, new_len: int) -> None:
+        """Roll a sequence back to ``new_len`` tokens, freeing tail pages.
+
+        Speculative decoding appends draft K/V optimistically and truncates
+        on rejection; pages that become entirely unused are released.
+        """
+        st = self._state(seq_id)
+        if not 0 <= new_len <= st.length:
+            raise ValueError(
+                f"new_len must be in [0, {st.length}], got {new_len}"
+            )
+        keep_pages = -(-new_len // self.page_size) if new_len else 0
+        for page in st.pages[keep_pages:]:
+            self._release_page(page)
+        st.pages = st.pages[:keep_pages]
+        st.length = new_len
+
+    def seq_len(self, seq_id: int) -> int:
+        return self._state(seq_id).length
+
+    def seq_pages(self, seq_id: int) -> List[int]:
+        return list(self._state(seq_id).pages)
+
+    def gather(self, seq_id: int) -> "tuple[np.ndarray, np.ndarray]":
+        """Materialize a sequence's full K and V as dense ``(len, H, D)``."""
+        if not self.materialized:
+            raise RuntimeError("gather() requires a materialized cache")
+        st = self._state(seq_id)
+        slots = self._slot_indices(st)
+        return self.k_pool[slots], self.v_pool[slots]
+
+    def _slot_indices(self, st: _SeqState) -> np.ndarray:
+        if not st.pages:
+            return np.empty(0, dtype=np.int64)
+        pages = np.asarray(st.pages, dtype=np.int64)
+        slots = (pages[:, None] * self.page_size + np.arange(self.page_size)[None, :]).reshape(-1)
+        return slots[: st.length]
+
+    # -- export to the attention engine -----------------------------------------
+
+    def layout(self, seq_ids: Sequence[int]) -> BlockSparseKV:
+        """Export the page-table structure for ``seq_ids`` (in order)."""
+        indptr = np.zeros(len(seq_ids) + 1, dtype=np.int64)
+        indices: List[int] = []
+        kv_lens = np.zeros(len(seq_ids), dtype=np.int64)
+        for i, sid in enumerate(seq_ids):
+            st = self._state(sid)
+            indices.extend(st.pages)
+            indptr[i + 1] = indptr[i] + len(st.pages)
+            kv_lens[i] = st.length
+        return BlockSparseKV(
+            self.page_size,
+            self.num_pages,
+            indptr,
+            np.asarray(indices, dtype=np.int64),
+            kv_lens,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedKVCache(pages={self.num_used_pages}/{self.num_pages}, "
+            f"page_size={self.page_size}, seqs={len(self._seqs)})"
+        )

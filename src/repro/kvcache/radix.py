@@ -1,0 +1,189 @@
+"""Radix-tree prefix cache (SGLang-style RadixAttention substrate).
+
+Maps token sequences to KV-cache pages at page granularity: a lookup returns
+the longest cached prefix (in whole pages) plus its page ids; an insert
+registers a computed sequence's pages for future reuse.  Unreferenced leaves
+are evicted LRU when the paged pool runs dry.
+
+Internally the tree is a compressed trie whose edges are labelled with
+page-aligned token chunks; each node owns the pages backing its chunk and
+holds a reference on them in the :class:`~repro.kvcache.paged.PagedKVCache`
+so shared prefixes stay live while cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kvcache.paged import PagedKVCache
+
+
+class _Node:
+    __slots__ = ("tokens", "pages", "children", "parent", "last_used")
+
+    def __init__(self, tokens: Tuple[int, ...], pages: List[int], parent: Optional["_Node"]):
+        self.tokens = tokens  # page-aligned token chunk labelling the edge in
+        self.pages = pages  # pages backing this chunk (len = len(tokens)/page_size)
+        self.children: Dict[int, "_Node"] = {}  # keyed by first token of child chunk
+        self.parent = parent
+        self.last_used = 0
+
+
+class RadixTree:
+    """Token-level prefix cache over a :class:`PagedKVCache`.
+
+    All chunks are multiples of ``page_size`` tokens, so a cache hit always
+    hands over whole pages — matching the constraint that only whole pages
+    can be shared without data movement (paper §3.1.2).
+    """
+
+    def __init__(self, cache: PagedKVCache):
+        self.cache = cache
+        self.page_size = cache.page_size
+        self._root = _Node((), [], None)
+        self._clock = 0
+        self._num_cached_pages = 0
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_cached_pages(self) -> int:
+        return self._num_cached_pages
+
+    def match_prefix(self, tokens: Sequence[int]) -> Tuple[int, List[int]]:
+        """Longest cached prefix of ``tokens``.
+
+        Returns ``(matched_len, pages)`` where ``matched_len`` is a multiple
+        of ``page_size``.  Touches matched nodes for LRU.
+        """
+        tokens = tuple(int(t) for t in tokens)
+        node = self._root
+        matched: List[int] = []
+        pos = 0
+        self._clock += 1
+        while pos < len(tokens):
+            child = node.children.get(tokens[pos])
+            if child is None:
+                break
+            chunk = child.tokens
+            if tokens[pos : pos + len(chunk)] != chunk:
+                # Partial chunk match: pages are whole-chunk, cannot split a
+                # hit below chunk granularity without re-splitting the node;
+                # count only whole matching pages of this chunk.
+                m = 0
+                while (
+                    m + self.page_size <= len(chunk)
+                    and tokens[pos + m : pos + m + self.page_size]
+                    == chunk[m : m + self.page_size]
+                ):
+                    m += self.page_size
+                if m:
+                    self._split(child, m)
+                    child = node.children[tokens[pos]]
+                    matched.extend(child.pages)
+                    pos += m
+                    child.last_used = self._clock
+                break
+            matched.extend(child.pages)
+            pos += len(chunk)
+            child.last_used = self._clock
+            node = child
+        return pos, matched
+
+    def insert(self, tokens: Sequence[int], pages: Sequence[int]) -> int:
+        """Register ``tokens`` (page-aligned prefix only) backed by ``pages``.
+
+        Only the first ``len(pages) * page_size`` tokens are cached; the
+        caller passes the sequence's full pages and the tree stores whole
+        pages only.  Returns the number of *new* pages cached (the rest were
+        already present).  The tree takes its own reference on new pages.
+        """
+        tokens = tuple(int(t) for t in tokens)
+        usable = min(len(tokens) // self.page_size, len(pages))
+        tokens = tokens[: usable * self.page_size]
+        pages = list(pages[:usable])
+        node = self._root
+        pos = 0
+        page_pos = 0
+        self._clock += 1
+        while pos < len(tokens):
+            child = node.children.get(tokens[pos])
+            if child is None:
+                chunk = tokens[pos:]
+                new_pages = pages[page_pos:]
+                self.cache.retain_pages(new_pages)
+                leaf = _Node(chunk, new_pages, node)
+                leaf.last_used = self._clock
+                node.children[tokens[pos]] = leaf
+                self._num_cached_pages += len(new_pages)
+                return len(new_pages)
+            chunk = child.tokens
+            m = 0
+            while (
+                m + self.page_size <= len(chunk)
+                and m + self.page_size <= len(tokens) - pos
+                and tokens[pos + m : pos + m + self.page_size] == chunk[m : m + self.page_size]
+            ):
+                m += self.page_size
+            if m < len(chunk):
+                if m == 0:
+                    # Same first token but different first page: collision on
+                    # the child key; nothing sharable at page granularity.
+                    return 0
+                self._split(child, m)
+                child = node.children[tokens[pos]]
+            child.last_used = self._clock
+            pos += m
+            page_pos += m // self.page_size
+            node = child
+        return 0
+
+    def _split(self, node: _Node, token_offset: int) -> None:
+        """Split ``node`` so its first ``token_offset`` tokens become a parent."""
+        assert token_offset % self.page_size == 0
+        npages = token_offset // self.page_size
+        parent = node.parent
+        assert parent is not None
+        upper = _Node(node.tokens[:token_offset], node.pages[:npages], parent)
+        upper.last_used = node.last_used
+        node.tokens = node.tokens[token_offset:]
+        node.pages = node.pages[npages:]
+        node.parent = upper
+        upper.children[node.tokens[0]] = node
+        parent.children[upper.tokens[0]] = upper
+
+    # -- eviction ------------------------------------------------------------
+
+    def evict(self, num_pages: int) -> int:
+        """Evict up to ``num_pages`` pages from LRU leaves.
+
+        Returns the number of pages actually released.  Pages still
+        referenced by live sequences remain allocated in the pool (the tree
+        merely drops its own reference).
+        """
+        released = 0
+        while released < num_pages:
+            leaf = self._lru_leaf()
+            if leaf is None:
+                break
+            self.cache.release_pages(leaf.pages)
+            released += len(leaf.pages)
+            self._num_cached_pages -= len(leaf.pages)
+            assert leaf.parent is not None
+            del leaf.parent.children[leaf.tokens[0]]
+        return released
+
+    def _lru_leaf(self) -> Optional[_Node]:
+        best: Optional[_Node] = None
+        stack = list(self._root.children.values())
+        while stack:
+            n = stack.pop()
+            if n.children:
+                stack.extend(n.children.values())
+            else:
+                if best is None or n.last_used < best.last_used:
+                    best = n
+        return best
+
+    def __repr__(self) -> str:
+        return f"RadixTree(cached_pages={self._num_cached_pages})"

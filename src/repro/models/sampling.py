@@ -1,0 +1,74 @@
+"""Token sampling policies for generation.
+
+Greedy decoding is what the correctness tests pin (deterministic); serving
+systems additionally expose temperature / top-k / top-p sampling, provided
+here over raw logits with a seeded generator so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Standard nucleus-sampling knobs.
+
+    ``temperature=0`` short-circuits to greedy argmax.  ``top_k=0`` and
+    ``top_p=1.0`` disable their respective truncations.
+    """
+
+    temperature: float = 1.0
+    top_k: int = 0
+    top_p: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.temperature < 0:
+            raise ValueError("temperature must be >= 0")
+        if self.top_k < 0:
+            raise ValueError("top_k must be >= 0")
+        if not 0 < self.top_p <= 1.0:
+            raise ValueError("top_p must be in (0, 1]")
+
+
+def sample_token(
+    logits: np.ndarray,
+    params: SamplingParams = SamplingParams(),
+    rng: SeedLike = None,
+) -> int:
+    """Sample one token id from a 1-D logits vector."""
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 1:
+        raise ValueError(f"logits must be 1-D, got shape {logits.shape}")
+    if params.temperature == 0.0:
+        return int(np.argmax(logits))
+    gen = new_rng(rng)
+
+    scaled = logits / params.temperature
+    if params.top_k:
+        kth = np.partition(scaled, -params.top_k)[-params.top_k]
+        scaled = np.where(scaled >= kth, scaled, -np.inf)
+    probs = _softmax(scaled)
+    if params.top_p < 1.0:
+        order = np.argsort(-probs, kind="stable")
+        cum = np.cumsum(probs[order])
+        # Keep the minimal prefix with mass ≥ top_p (always ≥ 1 token).
+        cutoff = int(np.searchsorted(cum, params.top_p)) + 1
+        mask = np.zeros_like(probs, dtype=bool)
+        mask[order[:cutoff]] = True
+        probs = np.where(mask, probs, 0.0)
+        probs = probs / probs.sum()
+    return int(gen.choice(probs.size, p=probs))
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    m = np.max(x)
+    if np.isneginf(m):
+        raise ValueError("all logits are -inf")
+    e = np.exp(x - m)
+    return e / e.sum()

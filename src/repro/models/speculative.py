@@ -1,0 +1,127 @@
+"""Greedy speculative decoding through the attention engine.
+
+The paper motivates tree/speculative decoding as one of the attention
+patterns the block-sparse engine unifies (§3.1.1).  This module runs the
+full serving loop for *chain* speculation with greedy (lossless)
+acceptance:
+
+1. a cheap draft policy proposes ``k`` tokens;
+2. the target model scores the whole chain in **one** incremental-prefill
+   attention call (``qo = k`` against the paged cache);
+3. the longest prefix whose draft tokens match the target's greedy choices
+   is accepted; on a mismatch the target's own prediction replaces the
+   first rejected token (so every verify step commits ≥ 1 token);
+4. rejected draft K/V is rolled back with
+   :meth:`~repro.kvcache.PagedKVCache.truncate`.
+
+Greedy acceptance guarantees output identical to plain greedy decoding —
+pinned by ``tests/test_models_speculative.py`` — while the number of
+target steps drops by the mean accepted length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.models.transformer import GenerationSession, TinyTransformer
+
+#: A draft policy: (token history) -> proposed next tokens (length k).
+DraftFn = Callable[[Sequence[int], int], List[int]]
+
+
+@dataclass
+class SpeculativeStats:
+    """Acceptance accounting for one generation."""
+
+    target_steps: int = 0
+    drafted: int = 0
+    accepted: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.drafted if self.drafted else 0.0
+
+    @property
+    def tokens_per_step(self) -> float:
+        return (self.accepted + self.target_steps) / max(self.target_steps, 1)
+
+
+def ngram_draft(history: Sequence[int], k: int) -> List[int]:
+    """A trivial self-drafting policy: replay the continuation that followed
+    the most recent earlier occurrence of the last token (prompt-lookup
+    decoding).  Falls back to repeating the last token."""
+    history = list(history)
+    last = history[-1]
+    for i in range(len(history) - 2, -1, -1):
+        if history[i] == last:
+            cont = history[i + 1 : i + 1 + k]
+            if cont:
+                return (cont + [cont[-1]] * k)[:k]
+    return [last] * k
+
+
+def speculative_generate(
+    model: TinyTransformer,
+    prompt: Sequence[int],
+    num_tokens: int,
+    draft_fn: DraftFn = ngram_draft,
+    num_draft: int = 4,
+    session: "GenerationSession | None" = None,
+) -> "tuple[List[int], SpeculativeStats]":
+    """Generate ``num_tokens`` greedily with chain speculation.
+
+    Returns ``(tokens, stats)``; ``tokens`` is identical to
+    ``GenerationSession.greedy_generate`` output (lossless).
+    """
+    if num_draft < 1:
+        raise ValueError("num_draft must be >= 1")
+    sess = session or GenerationSession(model)
+    sid = sess.new_sequence()
+    stats = SpeculativeStats()
+
+    history = list(prompt)
+    logits = sess.step([sid], [list(prompt)])
+    stats.target_steps += 1
+    out = [int(np.argmax(logits[0]))]
+    history.append(out[-1])
+
+    while len(out) < num_tokens:
+        k = min(num_draft, num_tokens - len(out))
+        draft = draft_fn(history, k)
+        if len(draft) != k:
+            raise ValueError(f"draft policy returned {len(draft)} tokens, wanted {k}")
+        stats.drafted += k
+
+        # One chained verification step: feed [committed_last] + draft[:-1]
+        # so position i's logits predict draft[i].
+        chain = [out[-1]] + list(draft[:-1])
+        base_len = sess.lengths[sid]
+        logits = sess.step_all_positions([sid], [chain])[0]
+        stats.target_steps += 1
+        target_choice = np.argmax(logits, axis=1)
+
+        accepted = 0
+        while accepted < k and int(target_choice[accepted]) == draft[accepted]:
+            accepted += 1
+        stats.accepted += accepted
+
+        if accepted == k:
+            # Whole chain accepted: commit exactly the drafted tokens (the
+            # chain fed draft[:-1], so there is no extra free prediction).
+            new_tokens = list(draft)
+            out.extend(new_tokens)
+            history.extend(new_tokens)
+        else:
+            # Keep accepted draft tokens plus the target's correction.
+            new_tokens = list(draft[:accepted]) + [int(target_choice[accepted])]
+            # Roll back the KV of rejected chain tokens: the verify step
+            # appended len(chain) entries; valid ones cover the committed
+            # token plus the accepted drafts.
+            sess.truncate(sid, base_len + 1 + accepted)
+            out.extend(new_tokens)
+            history.extend(new_tokens)
+
+    return out[:num_tokens], stats

@@ -1,0 +1,59 @@
+"""LLM serving substrate: engine, backends, workloads, metrics, models.
+
+The end-to-end experiments of the paper (Figures 7, 9, 10) hold this stack
+constant and vary only the attention backend; see
+:class:`repro.serving.engine.ServingEngine`.
+"""
+
+from repro.serving.backends import (
+    AttentionBackend,
+    BackendCharacteristics,
+    FlashInferBackend,
+    TritonBackend,
+    TRTLLMBackend,
+)
+from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.metrics import RequestTrace, ServingMetrics
+from repro.serving.tuning import OperatingPoint, find_max_rate
+from repro.serving.model import (
+    LLAMA_3_1_8B,
+    LLAMA_3_1_70B,
+    VICUNA_13B,
+    ModelConfig,
+)
+from repro.serving.workload import (
+    Request,
+    constant_lengths,
+    mtbench_workload,
+    poisson_arrivals,
+    sharegpt_workload,
+    uniform_lengths,
+    variable_workload,
+    zipf_lengths,
+)
+
+__all__ = [
+    "AttentionBackend",
+    "BackendCharacteristics",
+    "FlashInferBackend",
+    "TritonBackend",
+    "TRTLLMBackend",
+    "EngineConfig",
+    "ServingEngine",
+    "RequestTrace",
+    "ServingMetrics",
+    "OperatingPoint",
+    "find_max_rate",
+    "LLAMA_3_1_8B",
+    "LLAMA_3_1_70B",
+    "VICUNA_13B",
+    "ModelConfig",
+    "Request",
+    "constant_lengths",
+    "mtbench_workload",
+    "poisson_arrivals",
+    "sharegpt_workload",
+    "uniform_lengths",
+    "variable_workload",
+    "zipf_lengths",
+]

@@ -1,0 +1,483 @@
+"""Continuous-batching LLM serving engine (the §4.1/§4.3/§4.4 harness).
+
+A minimal Orca/SGLang-style engine over the simulated GPU: requests arrive
+on a Poisson process, prompts are prefilled in token-budgeted batches,
+decode steps run all live streams together, and per-step time is
+
+    layers × (attention(backend) + GEMMs(roofline) + allreduce(TP))
+      + LM head + framework overhead
+
+with only the attention term differing across backends — isolating exactly
+the variable the paper's end-to-end experiments vary.
+
+Parallel generation (§4.4, the OpenAI ``n`` parameter) forks each prefilled
+prompt into ``n`` decode streams sharing the prompt's KV pages; with
+``composable=True`` the decode attention is decomposed into a shared-prefix
+format plus per-stream suffixes (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.kernels import HeadConfig
+from repro.gpu.spec import GPUSpec
+from repro.kvcache.paged import OutOfPagesError, PagedKVCache
+from repro.serving.backends import AttentionBackend
+from repro.serving.metrics import RequestTrace, ServingMetrics
+from repro.serving.model import ModelConfig
+from repro.serving.workload import Request
+from repro.sparse.composable import ComposableFormat, PrefixCluster, decompose_shared_prefix
+from repro.sparse.layout import AttentionMapping
+
+
+@dataclass
+class EngineConfig:
+    """Engine policy knobs."""
+
+    page_size: int = 16
+    max_running: int = 128  # concurrent decode streams
+    max_prefill_tokens: int = 8192  # token budget per prefill batch
+    tensor_parallel: int = 1
+    num_pool_pages: int = 1 << 16
+    composable: bool = False  # composable formats for fork groups (§4.4)
+    scheduler_overhead: float = 30e-6  # host batching/sampling per step
+    #: Sarathi-serve-style chunked prefill: prompts are prefilled in
+    #: ``prefill_chunk_size``-token chunks piggybacked onto decode steps,
+    #: bounding the ITL spikes long prompts otherwise cause (§5.4).
+    chunked_prefill: bool = False
+    prefill_chunk_size: int = 512
+    #: Radix-style cross-request prefix caching: requests declaring a
+    #: shared ``prefix_group`` reuse the group's cached prompt pages and
+    #: prefill only their unique suffix (§5.4, RadixAttention).
+    prefix_caching: bool = False
+
+
+class _Stream:
+    """One decode stream (a single generation of a request)."""
+
+    __slots__ = ("req_idx", "seq_id", "remaining", "trace", "resume_len")
+
+    def __init__(self, req_idx: int, seq_id: int, remaining: int, trace: RequestTrace):
+        self.req_idx = req_idx
+        self.seq_id = seq_id
+        self.remaining = remaining
+        self.trace = trace
+        self.resume_len = 0  # KV length to recompute after preemption
+
+
+class _PartialPrefill:
+    """A prompt being prefilled chunk by chunk."""
+
+    __slots__ = ("req_idx", "seq_id", "filled")
+
+    def __init__(self, req_idx: int, seq_id: int):
+        self.req_idx = req_idx
+        self.seq_id = seq_id
+        self.filled = 0
+
+
+class ServingEngine:
+    """Simulated continuous-batching server."""
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        backend: AttentionBackend,
+        gpu: GPUSpec,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.model = model
+        self.backend = backend
+        self.gpu = gpu
+        self.config = config or EngineConfig()
+        self.heads = HeadConfig(
+            model.num_qo_heads // self.config.tensor_parallel
+            if model.num_qo_heads % self.config.tensor_parallel == 0
+            else model.num_qo_heads,
+            max(model.num_kv_heads // self.config.tensor_parallel, 1),
+            model.head_dim,
+        )
+        if backend.heads != self.heads:
+            raise ValueError(
+                f"backend heads {backend.heads} != engine shard heads {self.heads}; "
+                f"construct the backend with the per-shard head config"
+            )
+
+    # -- step-time assembly ---------------------------------------------------
+
+    def _step_time(self, attn_per_layer: float, num_tokens: int) -> float:
+        m, cfg = self.model, self.config
+        ch = self.backend.characteristics
+        layer = (
+            attn_per_layer
+            + m.layer_nonattn_time(num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel)
+            + m.allreduce_time(num_tokens, cfg.tensor_parallel, ch.allreduce_efficiency)
+        )
+        return (
+            m.num_layers * layer
+            + m.lm_head_time(num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel)
+            + self.backend.step_overhead(m.num_layers, self.gpu)
+            + cfg.scheduler_overhead
+        )
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, requests: Sequence[Request]) -> ServingMetrics:
+        """Serve ``requests`` to completion; returns latency metrics."""
+        cfg = self.config
+        cache = PagedKVCache(
+            cfg.num_pool_pages, cfg.page_size, self.heads.num_kv_heads,
+            self.heads.head_dim, materialize=False,
+        )
+        #: prefix_group → (cached pages, cached token count), page-aligned.
+        self._prefix_registry: dict = {}
+        requests = sorted(requests, key=lambda r: r.arrival)
+        metrics = ServingMetrics()
+        waiting = list(range(len(requests)))
+        prefill_queue: List[int] = []
+        streams: List[_Stream] = []
+        prefilling: List[_PartialPrefill] = []
+        preempted: List[_Stream] = []
+        t = 0.0
+
+        def admit() -> None:
+            while waiting and requests[waiting[0]].arrival <= t:
+                idx = waiting[0]
+                if len(streams) + len(prefill_queue) + requests[idx].n > cfg.max_running:
+                    break
+                prefill_queue.append(idx)
+                waiting.pop(0)
+
+        def fits(tokens: int) -> bool:
+            """Admission control: keep one page of decode headroom per
+            live stream so prefill cannot starve running decodes."""
+            need = -(-tokens // cfg.page_size) + len(streams)
+            return cache.num_free_pages >= need
+
+        while waiting or prefill_queue or prefilling or streams or preempted:
+            admit()
+            if preempted and fits(preempted[0].resume_len):
+                # Preempted streams resume first (their KV is recomputed).
+                t = self._resume_step(t, preempted, cache, streams, metrics)
+            elif cfg.chunked_prefill and (prefill_queue or prefilling or streams):
+                t = self._mixed_step(
+                    t, requests, prefill_queue, prefilling, cache, streams,
+                    metrics, preempted,
+                )
+            elif (
+                not cfg.chunked_prefill
+                and prefill_queue
+                and fits(requests[prefill_queue[0]].prompt_len)
+            ):
+                t = self._prefill_step(t, requests, prefill_queue, cache, streams, metrics)
+            elif not cfg.chunked_prefill and streams:
+                t = self._decode_step(t, requests, cache, streams, metrics, preempted)
+            elif preempted or prefill_queue:
+                # Capacity-blocked with nothing running to free pages.
+                raise OutOfPagesError(
+                    "KV pool cannot hold the next prompt even with no other "
+                    "work running; increase EngineConfig.num_pool_pages"
+                )
+            elif waiting:
+                t = max(t, requests[waiting[0]].arrival)
+            else:
+                break
+        metrics.total_time = t
+        return metrics
+
+    # -- phases --------------------------------------------------------------------
+
+    def _cached_prefix(self, req: Request):
+        """Cached (pages, token count) usable by ``req``, if any.
+
+        The reusable length is capped below the full prompt — the last
+        token's logits must always be computed fresh.
+        """
+        cfg = self.config
+        if not (cfg.prefix_caching and req.prefix_group is not None):
+            return None
+        entry = self._prefix_registry.get(req.prefix_group)
+        if entry is None:
+            return None
+        pages, cached_len = entry
+        usable = min(cached_len, ((req.prompt_len - 1) // cfg.page_size) * cfg.page_size)
+        if usable <= 0:
+            return None
+        return pages[: usable // cfg.page_size], usable
+
+    def _register_prefix(self, req: Request, cache: PagedKVCache, seq_id: int) -> None:
+        """Cache a freshly prefilled request's shared-prefix pages."""
+        cfg = self.config
+        if not (cfg.prefix_caching and req.prefix_group is not None):
+            return
+        if req.prefix_group in self._prefix_registry:
+            return
+        aligned = (req.prefix_len // cfg.page_size) * cfg.page_size
+        if aligned < cfg.page_size:
+            return
+        pages = cache.seq_pages(seq_id)[: aligned // cfg.page_size]
+        cache.retain_pages(pages)
+        self._prefix_registry[req.prefix_group] = (pages, aligned)
+
+    def _start_prefill_seq(self, cache: PagedKVCache, req: Request):
+        """Create a sequence for ``req``, reusing cached prefix pages.
+
+        Returns ``(seq_id, tokens_to_prefill)``.
+        """
+        hit = self._cached_prefix(req)
+        if hit is not None:
+            pages, cached = hit
+            sid = cache.new_seq(shared_pages=pages, shared_len=cached)
+            return sid, req.prompt_len - cached
+        return cache.new_seq(), req.prompt_len
+
+    def _prefill_step(
+        self, t, requests, prefill_queue, cache, streams, metrics
+    ) -> float:
+        cfg = self.config
+        batch: List[int] = []
+        tokens = 0
+        pages_left = cache.num_free_pages - len(streams)  # decode headroom
+        while prefill_queue and (
+            not batch or tokens + requests[prefill_queue[0]].prompt_len <= cfg.max_prefill_tokens
+        ):
+            nxt = requests[prefill_queue[0]].prompt_len
+            need = -(-nxt // cfg.page_size)
+            if batch and need > pages_left:
+                break
+            idx = prefill_queue.pop(0)
+            batch.append(idx)
+            tokens += nxt
+            pages_left -= need
+
+        seqs = []
+        qo_lens = []
+        for idx in batch:
+            sid, new_tokens = self._start_prefill_seq(cache, requests[idx])
+            cache.extend(sid, new_tokens)
+            self._register_prefix(requests[idx], cache, sid)
+            seqs.append(sid)
+            qo_lens.append(new_tokens)
+        tokens = sum(qo_lens)
+        mapping = AttentionMapping(
+            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
+            cache.layout(seqs),
+            causal=True,
+        )
+        attn = self.backend.attention_time(mapping, decode=False)
+        t += self._step_time(attn, tokens)
+
+        for idx, sid in zip(batch, seqs):
+            req = requests[idx]
+            for j in range(req.n):
+                stream_seq = sid if j == req.n - 1 else cache.fork_seq(sid)
+                trace = RequestTrace(arrival=req.arrival, first_token_time=t)
+                streams.append(_Stream(idx, stream_seq, req.output_len - 1, trace))
+                if req.output_len - 1 == 0:
+                    self._finish(streams[-1], cache, streams, metrics)
+        return t
+
+    def _mixed_step(
+        self, t, requests, prefill_queue, prefilling, cache, streams,
+        metrics, preempted=None,
+    ) -> float:
+        """One chunked-prefill step: all decode streams plus up to
+        ``prefill_chunk_size`` prompt tokens piggybacked (Sarathi-serve)."""
+        cfg = self.config
+        self._ensure_decode_capacity(cache, streams, metrics, preempted)
+        for s in streams:
+            cache.extend(s.seq_id, 1)
+
+        budget = cfg.prefill_chunk_size
+        segments: List[tuple] = []  # (_PartialPrefill, chunk)
+        while budget > 0:
+            if not prefilling:
+                if not prefill_queue:
+                    break
+                idx = prefill_queue.pop(0)
+                sid, _ = self._start_prefill_seq(cache, requests[idx])
+                pp = _PartialPrefill(idx, sid)
+                pp.filled = cache.seq_len(sid)  # cached prefix already present
+                prefilling.append(pp)
+            pp = prefilling[0]
+            remaining = requests[pp.req_idx].prompt_len - pp.filled
+            chunk = min(budget, remaining)
+            # Admission control: leave decode headroom (one page/stream).
+            need = -(-chunk // cfg.page_size) + 1
+            headroom = cache.num_free_pages - len(streams)
+            if need > headroom:
+                chunk = max((headroom - 1) * cfg.page_size, 0)
+                if chunk == 0:
+                    break
+            cache.extend(pp.seq_id, chunk)
+            segments.append((pp, chunk))
+            budget -= chunk
+            pp.filled += chunk
+            if pp.filled == requests[pp.req_idx].prompt_len:
+                self._register_prefix(requests[pp.req_idx], cache, pp.seq_id)
+                prefilling.pop(0)
+            else:
+                break  # the partial prompt keeps the head of the queue
+
+        seq_ids = [s.seq_id for s in streams] + [pp.seq_id for pp, _ in segments]
+        qo_lens = [1] * len(streams) + [chunk for _, chunk in segments]
+        mapping = AttentionMapping(
+            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
+            cache.layout(seq_ids),
+            causal=True,
+        )
+        formats: "ComposableFormat | AttentionMapping" = mapping
+        if cfg.composable and self.backend.supports_composable:
+            clusters = self._fork_clusters(requests, streams, cache)
+            if clusters:
+                formats = decompose_shared_prefix(mapping, clusters)
+        attn = self.backend.attention_time(formats, decode=not segments)
+        prefill_tokens = sum(chunk for _, chunk in segments)
+        t += self._step_time(attn, len(streams) + prefill_tokens)
+
+        # Prompts whose last chunk landed this step start decoding.
+        for pp, _ in segments:
+            req = requests[pp.req_idx]
+            if pp.filled == req.prompt_len:
+                for j in range(req.n):
+                    sid = pp.seq_id if j == req.n - 1 else cache.fork_seq(pp.seq_id)
+                    trace = RequestTrace(arrival=req.arrival, first_token_time=t)
+                    streams.append(_Stream(pp.req_idx, sid, req.output_len - 1, trace))
+                    if req.output_len - 1 == 0:
+                        self._finish(streams[-1], cache, streams, metrics)
+
+        finished = []
+        for s in streams:
+            if s.trace.first_token_time == t:
+                continue  # spawned this step; first decode token comes next
+            s.trace.token_times.append(t)
+            s.remaining -= 1
+            if s.remaining <= 0:
+                finished.append(s)
+        for s in finished:
+            self._finish(s, cache, streams, metrics)
+        return t
+
+    def _decode_step(self, t, requests, cache, streams, metrics, preempted=None) -> float:
+        cfg = self.config
+        self._ensure_decode_capacity(cache, streams, metrics, preempted)
+        for s in streams:
+            cache.extend(s.seq_id, 1)
+        seq_ids = [s.seq_id for s in streams]
+        mapping = AttentionMapping(
+            np.arange(len(streams) + 1, dtype=np.int64),
+            cache.layout(seq_ids),
+            causal=True,
+        )
+        formats: "ComposableFormat | AttentionMapping" = mapping
+        if cfg.composable and self.backend.supports_composable:
+            clusters = self._fork_clusters(requests, streams, cache)
+            if clusters:
+                formats = decompose_shared_prefix(mapping, clusters)
+        attn = self.backend.attention_time(formats, decode=True)
+        t += self._step_time(attn, len(streams))
+
+        finished = []
+        for s in streams:
+            s.trace.token_times.append(t)
+            s.remaining -= 1
+            if s.remaining <= 0:
+                finished.append(s)
+        for s in finished:
+            self._finish(s, cache, streams, metrics)
+        return t
+
+    def _ensure_decode_capacity(self, cache, streams, metrics, preempted) -> None:
+        """Preempt-by-recompute when the page pool cannot absorb this step.
+
+        vLLM-style backpressure: the youngest streams are evicted (their
+        pages freed) and later re-prefilled from scratch; without it a
+        full pool would abort the whole serving run mid-flight.
+        """
+
+        def pages_needed() -> int:
+            needed = 0
+            for s in streams:
+                length = cache.seq_len(s.seq_id)
+                if length % cache.page_size == 0:
+                    needed += 1
+                else:
+                    last = cache.seq_pages(s.seq_id)[-1]
+                    if cache.page_refcount(last) > 1:
+                        needed += 1  # copy-on-write of a shared partial page
+            return needed
+
+        while cache.num_free_pages < pages_needed():
+            if len(streams) <= 1:
+                raise OutOfPagesError(
+                    "KV pool too small for even one stream; increase "
+                    "EngineConfig.num_pool_pages"
+                )
+            victim = streams.pop()  # youngest stream
+            victim.resume_len = cache.seq_len(victim.seq_id)
+            cache.free_seq(victim.seq_id)
+            if preempted is None:
+                raise OutOfPagesError("pool exhausted and preemption unavailable")
+            preempted.append(victim)
+            metrics.preemptions += 1
+
+    def _resume_step(self, t, preempted, cache, streams, metrics) -> float:
+        """Re-prefill preempted streams' KV (recompute) and resume decoding."""
+        cfg = self.config
+        batch: List[_Stream] = []
+        tokens = 0
+        pages_left = cache.num_free_pages - len(streams)
+        while preempted and (
+            not batch or tokens + preempted[0].resume_len <= cfg.max_prefill_tokens
+        ):
+            # Only resume what the pool can hold right now.
+            need = -(-preempted[0].resume_len // cfg.page_size)
+            if batch and need > pages_left:
+                break
+            stream = preempted.pop(0)
+            batch.append(stream)
+            tokens += stream.resume_len
+            pages_left -= need
+        qo_lens = []
+        for stream in batch:
+            sid = cache.new_seq()
+            cache.extend(sid, stream.resume_len)
+            stream.seq_id = sid
+            qo_lens.append(stream.resume_len)
+        mapping = AttentionMapping(
+            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
+            cache.layout([s.seq_id for s in batch]),
+            causal=True,
+        )
+        attn = self.backend.attention_time(mapping, decode=False)
+        t += self._step_time(attn, tokens)
+        streams.extend(batch)
+        return t
+
+    def _fork_clusters(self, requests, streams, cache) -> List[PrefixCluster]:
+        """Consecutive streams of the same request share its prompt pages."""
+        cfg = self.config
+        clusters: List[PrefixCluster] = []
+        i = 0
+        while i < len(streams):
+            j = i
+            while j + 1 < len(streams) and streams[j + 1].req_idx == streams[i].req_idx:
+                j += 1
+            if j > i:
+                prompt = requests[streams[i].req_idx].prompt_len
+                aligned = (prompt // cfg.page_size) * cfg.page_size
+                if aligned >= cfg.page_size:
+                    clusters.append(PrefixCluster(tuple(range(i, j + 1)), aligned))
+            i = j + 1
+        return clusters
+
+    def _finish(self, stream, cache, streams, metrics) -> None:
+        if stream.trace.token_times or stream.remaining <= 0:
+            metrics.add(stream.trace)
+        cache.free_seq(stream.seq_id)
+        if stream in streams:
+            streams.remove(stream)

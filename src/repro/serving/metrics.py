@@ -1,0 +1,87 @@
+"""Serving latency metrics: TTFT, ITL, percentiles (paper §4.1).
+
+* **TTFT** (time to first token): request arrival → first output token.
+* **ITL** (inter-token latency): gaps between consecutive output tokens of
+  one request.
+
+The paper reports medians under a P99-TTFT < 200 ms operating point; the
+same accessors are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass
+class RequestTrace:
+    """Completion record for one request (one generation stream)."""
+
+    arrival: float
+    first_token_time: float
+    token_times: List[float] = field(default_factory=list)
+
+    @property
+    def ttft(self) -> float:
+        return self.first_token_time - self.arrival
+
+    @property
+    def itls(self) -> np.ndarray:
+        times = [self.first_token_time] + list(self.token_times)
+        return np.diff(times)
+
+
+@dataclass
+class ServingMetrics:
+    """Aggregated metrics over a run."""
+
+    traces: List[RequestTrace] = field(default_factory=list)
+    total_time: float = 0.0
+    total_output_tokens: int = 0
+    preemptions: int = 0
+
+    def add(self, trace: RequestTrace) -> None:
+        self.traces.append(trace)
+        self.total_output_tokens += 1 + len(trace.token_times)
+
+    @property
+    def ttfts(self) -> np.ndarray:
+        return np.asarray([t.ttft for t in self.traces])
+
+    @property
+    def all_itls(self) -> np.ndarray:
+        if not self.traces:
+            return np.empty(0)
+        parts = [t.itls for t in self.traces if t.token_times]
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def median_ttft(self) -> float:
+        return float(np.median(self.ttfts)) if self.traces else float("nan")
+
+    def p99_ttft(self) -> float:
+        return float(np.percentile(self.ttfts, 99)) if self.traces else float("nan")
+
+    def median_itl(self) -> float:
+        itls = self.all_itls
+        return float(np.median(itls)) if itls.size else float("nan")
+
+    def p99_itl(self) -> float:
+        itls = self.all_itls
+        return float(np.percentile(itls, 99)) if itls.size else float("nan")
+
+    def throughput_tokens_per_s(self) -> float:
+        return self.total_output_tokens / self.total_time if self.total_time > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "median_ttft": self.median_ttft(),
+            "p99_ttft": self.p99_ttft(),
+            "median_itl": self.median_itl(),
+            "p99_itl": self.p99_itl(),
+            "throughput_tok_s": self.throughput_tokens_per_s(),
+            "num_requests": float(len(self.traces)),
+            "preemptions": float(self.preemptions),
+        }

@@ -1,0 +1,121 @@
+"""Transformer model configurations and non-attention cost roofline.
+
+The end-to-end experiments (paper §4.1, §4.3, §4.4) run Llama-3.1-8B/70B
+and Vicuna-13B.  The engine needs, per step: the attention kernel time
+(from the attention backend under test) plus everything else — QKV/O
+projections, the gated MLP, the LM head, and tensor-parallel all-reduces —
+which is identical across attention backends and modelled here with the
+same roofline used for kernels: ``max(flops/peak, bytes/bandwidth)``.
+For small decode batches the weight traffic dominates, which is what makes
+inter-token latency bandwidth-bound in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.spec import GPUSpec
+
+#: NVLink all-reduce effective bus bandwidth (bytes/s) and base latency.
+NVLINK_ALLREDUCE_BW = 300e9
+ALLREDUCE_LATENCY = 8e-6
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Decoder-only transformer geometry (weights in fp16)."""
+
+    name: str
+    num_layers: int
+    hidden_size: int
+    num_qo_heads: int
+    num_kv_heads: int
+    head_dim: int
+    intermediate_size: int
+    vocab_size: int
+    dtype_bytes: int = 2
+
+    @property
+    def qkv_out_features(self) -> int:
+        return (self.num_qo_heads + 2 * self.num_kv_heads) * self.head_dim
+
+    @property
+    def attn_out_features(self) -> int:
+        return self.num_qo_heads * self.head_dim
+
+    def layer_weight_bytes(self, tensor_parallel: int = 1) -> float:
+        """Per-layer weight traffic (QKV + O + gated MLP), per TP shard."""
+        qkv = self.hidden_size * self.qkv_out_features
+        o = self.attn_out_features * self.hidden_size
+        mlp = 3 * self.hidden_size * self.intermediate_size
+        return (qkv + o + mlp) * self.dtype_bytes / tensor_parallel
+
+    def layer_gemm_flops(self, num_tokens: int, tensor_parallel: int = 1) -> float:
+        """Per-layer GEMM FLOPs for ``num_tokens`` tokens, per TP shard."""
+        qkv = self.hidden_size * self.qkv_out_features
+        o = self.attn_out_features * self.hidden_size
+        mlp = 3 * self.hidden_size * self.intermediate_size
+        return 2.0 * num_tokens * (qkv + o + mlp) / tensor_parallel
+
+    def lm_head_time(
+        self, num_tokens: int, gpu: GPUSpec, gemm_efficiency: float, tensor_parallel: int = 1
+    ) -> float:
+        flops = 2.0 * num_tokens * self.hidden_size * self.vocab_size / tensor_parallel
+        bytes_ = self.hidden_size * self.vocab_size * self.dtype_bytes / tensor_parallel
+        return max(
+            flops / (gpu.peak_fp16_flops * gemm_efficiency),
+            bytes_ / gpu.peak_bandwidth_bytes,
+        )
+
+    def layer_nonattn_time(
+        self, num_tokens: int, gpu: GPUSpec, gemm_efficiency: float, tensor_parallel: int = 1
+    ) -> float:
+        """Roofline time for one layer's GEMMs + activations."""
+        flops = self.layer_gemm_flops(num_tokens, tensor_parallel)
+        weight_bytes = self.layer_weight_bytes(tensor_parallel)
+        act_bytes = 4.0 * num_tokens * self.hidden_size * self.dtype_bytes
+        return max(
+            flops / (gpu.peak_fp16_flops * gemm_efficiency),
+            (weight_bytes + act_bytes) / gpu.peak_bandwidth_bytes,
+        )
+
+    def allreduce_time(self, num_tokens: int, tensor_parallel: int, efficiency: float = 1.0) -> float:
+        """Two all-reduces per layer under tensor parallelism."""
+        if tensor_parallel <= 1:
+            return 0.0
+        bytes_ = num_tokens * self.hidden_size * self.dtype_bytes
+        return 2.0 * (bytes_ / (NVLINK_ALLREDUCE_BW * efficiency) + ALLREDUCE_LATENCY)
+
+
+LLAMA_3_1_8B = ModelConfig(
+    name="llama-3.1-8b",
+    num_layers=32,
+    hidden_size=4096,
+    num_qo_heads=32,
+    num_kv_heads=8,
+    head_dim=128,
+    intermediate_size=14336,
+    vocab_size=128256,
+)
+
+LLAMA_3_1_70B = ModelConfig(
+    name="llama-3.1-70b",
+    num_layers=80,
+    hidden_size=8192,
+    num_qo_heads=64,
+    num_kv_heads=8,
+    head_dim=128,
+    intermediate_size=28672,
+    vocab_size=128256,
+)
+
+VICUNA_13B = ModelConfig(
+    name="vicuna-13b",
+    num_layers=40,
+    hidden_size=5120,
+    num_qo_heads=40,
+    num_kv_heads=40,
+    head_dim=128,
+    intermediate_size=13824,
+    vocab_size=32000,
+)

@@ -1,0 +1,137 @@
+"""Workload generators for the evaluation.
+
+The paper's end-to-end experiments use the ShareGPT dataset and a synthetic
+"Variable" workload (§4.1); kernel experiments use constant / uniform /
+Zipf-skewed length distributions (§4.2); the StreamingLLM study uses
+MT-Bench conversations (§4.3).  The real datasets only contribute *length
+distributions* to the experiments, so we substitute synthetic marginals
+(documented in DESIGN.md):
+
+* ShareGPT-like — log-normal prompt and output lengths fit to the commonly
+  reported ShareGPT statistics (mean prompt ≈ 160, mean output ≈ 330).
+* Variable — prompt lengths uniform in [512, 2048] as stated in §4.1.
+* MT-Bench-like — short conversational prompts with moderate outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    ``prefix_group``/``prefix_len`` declare that the first ``prefix_len``
+    prompt tokens are identical across every request with the same group id
+    (a shared system prompt) — the structure a radix-tree prefix cache
+    exploits (§5.4, RadixAttention).
+    """
+
+    arrival: float
+    prompt_len: int
+    output_len: int
+    n: int = 1  # parallel generations (the OpenAI "n" parameter, §4.4)
+    prefix_group: Optional[int] = None
+    prefix_len: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0 or self.output_len <= 0 or self.n <= 0:
+            raise ValueError("prompt_len, output_len and n must be positive")
+        if self.prefix_len < 0 or self.prefix_len > self.prompt_len:
+            raise ValueError("prefix_len must be in [0, prompt_len]")
+        if self.prefix_len and self.prefix_group is None:
+            raise ValueError("prefix_len requires a prefix_group")
+
+
+def poisson_arrivals(num_requests: int, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """Arrival times for a Poisson process at ``rate`` requests/second."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    gaps = rng.exponential(1.0 / rate, size=num_requests)
+    return np.cumsum(gaps)
+
+
+def _lognormal_lengths(
+    rng: np.random.Generator, n: int, mu: float, sigma: float, lo: int, hi: int
+) -> np.ndarray:
+    x = rng.lognormal(mu, sigma, size=n)
+    return np.clip(np.rint(x), lo, hi).astype(np.int64)
+
+
+def sharegpt_workload(
+    num_requests: int,
+    rate: float,
+    seed: SeedLike = 0,
+    n: int = 1,
+) -> List[Request]:
+    """ShareGPT-like conversation lengths with Poisson arrivals."""
+    rng = new_rng(seed)
+    arrivals = poisson_arrivals(num_requests, rate, rng)
+    prompts = _lognormal_lengths(rng, num_requests, mu=4.6, sigma=1.0, lo=4, hi=4096)
+    outputs = _lognormal_lengths(rng, num_requests, mu=5.3, sigma=0.8, lo=4, hi=2048)
+    return [
+        Request(float(a), int(p), int(o), n=n)
+        for a, p, o in zip(arrivals, prompts, outputs)
+    ]
+
+
+def variable_workload(
+    num_requests: int,
+    rate: float,
+    seed: SeedLike = 0,
+    n: int = 1,
+    lo: int = 512,
+    hi: int = 2048,
+) -> List[Request]:
+    """The §4.1 synthetic workload: lengths uniform in [512, 2048]."""
+    rng = new_rng(seed)
+    arrivals = poisson_arrivals(num_requests, rate, rng)
+    prompts = rng.integers(lo, hi + 1, size=num_requests)
+    outputs = rng.integers(lo // 4, hi // 4 + 1, size=num_requests)
+    return [
+        Request(float(a), int(p), int(o), n=n)
+        for a, p, o in zip(arrivals, prompts, outputs)
+    ]
+
+
+def mtbench_workload(
+    num_requests: int,
+    rate: float,
+    seed: SeedLike = 0,
+) -> List[Request]:
+    """MT-Bench-like conversational lengths (§4.3)."""
+    rng = new_rng(seed)
+    arrivals = poisson_arrivals(num_requests, rate, rng)
+    prompts = rng.integers(40, 500, size=num_requests)
+    outputs = rng.integers(100, 400, size=num_requests)
+    return [Request(float(a), int(p), int(o)) for a, p, o in zip(arrivals, prompts, outputs)]
+
+
+# -- kernel-benchmark length distributions (§4.2) -----------------------------
+
+
+def constant_lengths(batch_size: int, length: int) -> np.ndarray:
+    return np.full(batch_size, length, dtype=np.int64)
+
+
+def uniform_lengths(
+    batch_size: int, lo: int, hi: int, seed: SeedLike = 0
+) -> np.ndarray:
+    return new_rng(seed).integers(lo, hi + 1, size=batch_size).astype(np.int64)
+
+
+def zipf_lengths(
+    batch_size: int, mean: int, seed: SeedLike = 0, a: float = 2.0, min_len: int = 16
+) -> np.ndarray:
+    """Zipf-distributed lengths rescaled to the requested mean (§4.2:
+    "skewed (Zipf distribution with average length 1024)")."""
+    rng = new_rng(seed)
+    x = rng.zipf(a, size=batch_size).astype(np.float64)
+    x = x / x.mean() * mean
+    return np.maximum(np.rint(x), min_len).astype(np.int64)

@@ -1,0 +1,115 @@
+"""Conversions between KV-cache structures and sparse formats.
+
+These functions realize the paper's unification claim (§3.1.1, Figure 2):
+page tables, dense masks and CSR structures all lower to the same BSR /
+block-sparse gather representation consumed by the kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sparse.bsr import BSRMatrix, ceil_div
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.layout import AttentionMapping, BlockSparseKV
+
+
+def kv_from_page_table(
+    page_lists: Sequence[np.ndarray],
+    kv_lens: Sequence[int],
+    page_size: int,
+    pool_pages: int,
+) -> BlockSparseKV:
+    """Wrap a per-request page table as a :class:`BlockSparseKV`.
+
+    ``page_lists[r]`` are the ordered page ids of request ``r``;
+    ``kv_lens[r]`` is its token count (the last page may be partial).
+    """
+    kv_lens = np.asarray(kv_lens, dtype=np.int64)
+    if len(page_lists) != kv_lens.size:
+        raise ValueError("page_lists and kv_lens must have the same length")
+    indptr = np.zeros(len(page_lists) + 1, dtype=np.int64)
+    indices: List[int] = []
+    for r, pages in enumerate(page_lists):
+        pages = np.asarray(pages, dtype=np.int64)
+        need = ceil_div(int(kv_lens[r]), page_size) if kv_lens[r] else 0
+        if pages.size != need:
+            raise ValueError(
+                f"request {r}: kv_len={kv_lens[r]} needs {need} pages of size "
+                f"{page_size}, got {pages.size}"
+            )
+        indices.extend(pages.tolist())
+        indptr[r + 1] = indptr[r] + pages.size
+    return BlockSparseKV(
+        page_size, pool_pages, indptr, np.asarray(indices, dtype=np.int64), kv_lens
+    )
+
+
+def bsr_from_page_table(
+    page_lists: Sequence[np.ndarray],
+    kv_lens: Sequence[int],
+    page_size: int,
+    pool_pages: int,
+    queries_per_request: int,
+) -> BSRMatrix:
+    """Render a page table as the BSR matrix of paper Figure 2.
+
+    Rows are queries (``queries_per_request`` per request, the ``B_r``),
+    columns are all pool slots; non-zero blocks mark the pages each request's
+    queries attend to.
+    """
+    kv = kv_from_page_table(page_lists, kv_lens, page_size, pool_pages)
+    n_req = kv.num_groups
+    shape = (n_req * queries_per_request, pool_pages * page_size)
+    return BSRMatrix(
+        shape,
+        (queries_per_request, page_size),
+        kv.indptr,
+        kv.indices,
+        kv.kv_lens,
+    )
+
+
+def bsr_from_dense_mask(mask: np.ndarray, block_size: Tuple[int, int]) -> BSRMatrix:
+    """Alias for :meth:`BSRMatrix.from_dense_mask`."""
+    return BSRMatrix.from_dense_mask(mask, block_size)
+
+
+def bsr_to_dense_mask(bsr: BSRMatrix) -> np.ndarray:
+    """Alias for :meth:`BSRMatrix.to_dense_mask`."""
+    return bsr.to_dense_mask()
+
+
+def csr_to_bsr(csr: CSRMatrix, block_size: Tuple[int, int]) -> BSRMatrix:
+    """Regroup CSR structure into BSR blocks (must be exactly representable)."""
+    return BSRMatrix.from_dense_mask(csr.to_dense_mask(), block_size)
+
+
+def mapping_from_bsr(bsr: BSRMatrix, causal: bool = False) -> AttentionMapping:
+    """Lower a uniform BSR adjacency to a kernel-facing mapping.
+
+    Each BSR block row becomes one query group gathering its blocks'
+    slots — the path used for custom block-sparse attention masks
+    (tree attention, Quest-style importance masks).
+    """
+    n = bsr.n_block_rows
+    qo_indptr = np.zeros(n + 1, dtype=np.int64)
+    for i in range(n):
+        r0, r1 = bsr.block_row_rows(i)
+        qo_indptr[i + 1] = qo_indptr[i] + (r1 - r0)
+    kv = BlockSparseKV(
+        bsr.block_size[1],
+        bsr.n_block_cols,
+        bsr.indptr,
+        bsr.indices,
+        bsr.row_kv_lens,
+    )
+    return AttentionMapping(
+        qo_indptr,
+        kv,
+        causal=causal,
+        block_row_size=bsr.block_size[0],
+        label="bsr",
+    )

@@ -1,0 +1,76 @@
+"""Compressed Sparse Row matrices (structure-only or with data).
+
+CSR is the degenerate BSR with block size ``(1, 1)``; it is kept as a
+separate, simpler type because the KV-cache managers naturally emit CSR
+structure (one row of KV-slot indices per request) which is then regrouped
+into BSR blocks by :func:`repro.sparse.conversions.csr_to_bsr`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class CSRMatrix:
+    """CSR structure over a logical ``(num_rows, num_cols)`` matrix.
+
+    ``indices[indptr[i]:indptr[i+1]]`` are the non-zero column ids of row
+    ``i``.  ``data`` is optional (attention only needs structure).
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: Optional[np.ndarray] = None,
+    ):
+        num_rows, num_cols = shape
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.shape != (num_rows + 1,):
+            raise ValueError(f"indptr must have shape ({num_rows + 1},), got {indptr.shape}")
+        if indptr[0] != 0 or np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must start at 0 and be non-decreasing")
+        if indptr[-1] != indices.size:
+            raise ValueError(f"indptr[-1] ({indptr[-1]}) != len(indices) ({indices.size})")
+        if indices.size and (indices.min() < 0 or indices.max() >= num_cols):
+            raise ValueError("column indices out of range")
+        if data is not None and np.asarray(data).shape[0] != indices.size:
+            raise ValueError("data must align with indices")
+        self.shape = (int(num_rows), int(num_cols))
+        self.indptr = indptr
+        self.indices = indices
+        self.data = None if data is None else np.asarray(data)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def row_indices(self, i: int) -> np.ndarray:
+        """Non-zero column ids of row ``i``."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def to_dense_mask(self) -> np.ndarray:
+        """Boolean dense mask of the structure."""
+        mask = np.zeros(self.shape, dtype=bool)
+        for i in range(self.shape[0]):
+            mask[i, self.row_indices(i)] = True
+        return mask
+
+    @classmethod
+    def from_dense_mask(cls, mask: np.ndarray) -> "CSRMatrix":
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ValueError("mask must be 2-D")
+        indptr = np.zeros(mask.shape[0] + 1, dtype=np.int64)
+        np.cumsum(mask.sum(axis=1), out=indptr[1:])
+        indices = np.nonzero(mask)[1]
+        return cls(mask.shape, indptr, indices)
+
+    def __repr__(self) -> str:
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

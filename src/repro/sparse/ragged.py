@@ -1,0 +1,104 @@
+"""Ragged (jagged) tensors.
+
+Queries and outputs from a batch of variable-length requests are packed
+without padding into a single array plus an ``indptr`` offset array (paper
+§3.1.1).  Row ``i`` occupies ``data[indptr[i]:indptr[i+1]]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+class RaggedTensor:
+    """A batch of variable-length rows packed into one contiguous array.
+
+    Parameters
+    ----------
+    data:
+        Array of shape ``(total, ...)`` — all rows concatenated along axis 0.
+    indptr:
+        Int array of shape ``(num_rows + 1,)``, non-decreasing, with
+        ``indptr[0] == 0`` and ``indptr[-1] == len(data)``.
+    """
+
+    __slots__ = ("data", "indptr")
+
+    def __init__(self, data: np.ndarray, indptr: np.ndarray):
+        data = np.asarray(data)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size < 1:
+            raise ValueError(f"indptr must be a non-empty 1-D array, got shape {indptr.shape}")
+        if indptr[0] != 0:
+            raise ValueError(f"indptr[0] must be 0, got {indptr[0]}")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if indptr[-1] != data.shape[0]:
+            raise ValueError(
+                f"indptr[-1] ({indptr[-1]}) must equal data.shape[0] ({data.shape[0]})"
+            )
+        self.data = data
+        self.indptr = indptr
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[np.ndarray]) -> "RaggedTensor":
+        """Pack a sequence of arrays (equal trailing dims) into one tensor."""
+        rows = [np.asarray(r) for r in rows]
+        if rows:
+            data = np.concatenate(rows, axis=0)
+        else:
+            data = np.empty((0,))
+        lengths = [r.shape[0] for r in rows]
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        return cls(data, indptr)
+
+    @classmethod
+    def from_lengths(cls, data: np.ndarray, lengths: Iterable[int]) -> "RaggedTensor":
+        """Build from packed data and per-row lengths."""
+        lengths = np.asarray(list(lengths), dtype=np.int64)
+        indptr = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        return cls(np.asarray(data), indptr)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def total(self) -> int:
+        """Total number of packed elements along axis 0."""
+        return int(self.indptr[-1])
+
+    @property
+    def row_lengths(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def row(self, i: int) -> np.ndarray:
+        """View of row ``i`` (no copy)."""
+        if not -self.num_rows <= i < self.num_rows:
+            raise IndexError(f"row {i} out of range for {self.num_rows} rows")
+        if i < 0:
+            i += self.num_rows
+        return self.data[self.indptr[i] : self.indptr[i + 1]]
+
+    def rows(self) -> List[np.ndarray]:
+        return [self.row(i) for i in range(self.num_rows)]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def __repr__(self) -> str:
+        return (
+            f"RaggedTensor(num_rows={self.num_rows}, total={self.total}, "
+            f"item_shape={self.data.shape[1:]}, dtype={self.data.dtype})"
+        )

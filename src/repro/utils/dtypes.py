@@ -1,0 +1,78 @@
+"""Storage dtype emulation.
+
+FlashInfer computes in fp32 accumulators while storing Q/K/V in fp16 or fp8
+(e4m3) to cut memory traffic (paper Appendix F).  We mirror that split: all
+arithmetic here is float32/float64 NumPy, and *storage* precision is emulated
+by rounding values through the chosen format.  This exercises the
+mixed-precision code path and its accuracy behaviour without GPU tensor cores.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+# Largest finite value representable in fp8 e4m3 (per the OCP / NVIDIA spec).
+FP8_E4M3_MAX = 448.0
+
+_E4M3_MANTISSA_BITS = 3
+_E4M3_MIN_NORMAL_EXP = -6  # smallest normal exponent
+_E4M3_MIN_SUBNORMAL = 2.0**-9  # 2^-6 * 2^-3
+
+
+class StorageDType(enum.Enum):
+    """Precision used for *stored* tensors (compute is always fp32)."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    FP8_E4M3 = "fp8_e4m3"
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element, used by the memory-traffic model."""
+        return {"fp32": 4, "fp16": 2, "fp8_e4m3": 1}[self.value]
+
+
+def quantize_fp8(x: np.ndarray) -> np.ndarray:
+    """Round ``x`` to the nearest fp8 e4m3 value (returned as float32).
+
+    Saturates to ±``FP8_E4M3_MAX``; flushes values below the smallest
+    subnormal to zero.  This emulates storing a tensor in fp8 without an
+    actual 8-bit container: the value grid is exact, the bytes are not.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.sign(x)
+    mag = np.abs(x)
+    out = np.zeros_like(mag)
+
+    normal = mag >= 2.0**_E4M3_MIN_NORMAL_EXP
+    if np.any(normal):
+        m = mag[normal]
+        exp = np.floor(np.log2(m))
+        scale = 2.0 ** (exp - _E4M3_MANTISSA_BITS)
+        out_n = np.rint(m / scale) * scale
+        out[normal] = out_n
+    subnormal = (~normal) & (mag > 0)
+    if np.any(subnormal):
+        out[subnormal] = np.rint(mag[subnormal] / _E4M3_MIN_SUBNORMAL) * _E4M3_MIN_SUBNORMAL
+
+    out = np.minimum(out, FP8_E4M3_MAX)
+    return (sign * out).astype(np.float32)
+
+
+def dequantize_fp8(x: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    """Inverse of :func:`quantize_fp8` under a per-tensor scale factor."""
+    return np.asarray(x, dtype=np.float32) * np.float32(scale)
+
+
+def round_to_storage(x: np.ndarray, dtype: StorageDType) -> np.ndarray:
+    """Round ``x`` through storage precision ``dtype``, returning float32."""
+    x = np.asarray(x)
+    if dtype is StorageDType.FP32:
+        return x.astype(np.float32)
+    if dtype is StorageDType.FP16:
+        return x.astype(np.float16).astype(np.float32)
+    if dtype is StorageDType.FP8_E4M3:
+        return quantize_fp8(x)
+    raise ValueError(f"unknown storage dtype: {dtype!r}")

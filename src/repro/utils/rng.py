@@ -1,0 +1,20 @@
+"""Deterministic RNG construction for tests, workloads and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = 0) -> np.random.Generator:
+    """Return a NumPy ``Generator``.
+
+    Accepts an int seed, an existing generator (passed through, so callers can
+    thread one RNG through a pipeline), or ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

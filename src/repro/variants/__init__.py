@@ -1,0 +1,56 @@
+"""Library of ready-made attention variants (paper §3.2.3).
+
+Every variant here is an :class:`~repro.core.AttentionVariant` spec the JIT
+compiler turns into a specialized kernel: masks (sliding window, attention
+sinks, custom/tree masks), score transforms (soft-cap, ALiBi,
+FlashSigmoid), and fused query/key transforms (RoPE).
+"""
+
+from repro.variants.masks import (
+    CUSTOM_MASK,
+    make_attention_sink,
+    make_custom_mask,
+    make_sliding_window,
+    make_tree_attention,
+    tree_attention_mask,
+)
+from repro.variants.rope import (
+    DEFAULT_ROPE_THETA,
+    FUSED_ROPE,
+    apply_rope,
+    make_fused_rope,
+)
+from repro.variants.scores import (
+    alibi_slopes,
+    make_alibi,
+    make_flash_sigmoid,
+    make_logits_softcap,
+)
+from repro.variants.fp8 import (
+    calibrate_kv_scales,
+    make_fp8_variant,
+    quantize_kv_pool,
+)
+from repro.variants.projections import make_fused_kv_projection, make_qk_norm
+
+__all__ = [
+    "CUSTOM_MASK",
+    "make_attention_sink",
+    "make_custom_mask",
+    "make_sliding_window",
+    "make_tree_attention",
+    "tree_attention_mask",
+    "DEFAULT_ROPE_THETA",
+    "FUSED_ROPE",
+    "apply_rope",
+    "make_fused_rope",
+    "alibi_slopes",
+    "make_alibi",
+    "make_flash_sigmoid",
+    "make_logits_softcap",
+    "calibrate_kv_scales",
+    "make_fp8_variant",
+    "quantize_kv_pool",
+    "make_fused_kv_projection",
+    "make_qk_norm",
+]

@@ -1,0 +1,90 @@
+"""FP8 KV-cache with per-head scale calibration (paper Appendix F).
+
+The mixed-precision path stores K/V in fp8 e4m3 while Q and O stay fp16.
+Values are scaled into e4m3's dynamic range per KV head (amax calibration)
+before quantization, and the inverse scale is applied *inside* the kernel
+via the key/value transform functors — the Python analog of the fast
+numerical-array converter the paper adopts from Gupta (2024): no separate
+dequantization pass touches memory.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.variant import AttentionVariant, ParamDecl
+from repro.utils.dtypes import FP8_E4M3_MAX, quantize_fp8
+
+#: Calibration headroom: map the per-head amax to 75% of the format's max,
+#: leaving margin for values appended after calibration.
+CALIBRATION_HEADROOM = 0.75
+
+
+def calibrate_kv_scales(
+    k: np.ndarray, v: np.ndarray, headroom: float = CALIBRATION_HEADROOM
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-KV-head scales mapping amax to the e4m3 range.
+
+    ``k``/``v``: ``(n, H_kv, D)``.  Returns ``(k_scale, v_scale)`` of shape
+    ``(H_kv,)``; stored values are ``x / scale`` and the kernel multiplies
+    back.
+    """
+    if headroom <= 0 or headroom > 1:
+        raise ValueError("headroom must be in (0, 1]")
+    target = FP8_E4M3_MAX * headroom
+
+    def scales(x):
+        amax = np.abs(np.asarray(x, dtype=np.float64)).max(axis=(0, 2))
+        return np.maximum(amax / target, 1e-12)
+
+    return scales(k), scales(v)
+
+
+def quantize_kv_pool(
+    k: np.ndarray, v: np.ndarray, k_scale: np.ndarray, v_scale: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize pools to the scaled e4m3 grid (returned as float32 values
+    on the exact fp8 lattice — storage emulation per DESIGN.md)."""
+    kq = quantize_fp8(np.asarray(k) / k_scale[None, :, None])
+    vq = quantize_fp8(np.asarray(v) / v_scale[None, :, None])
+    return kq, vq
+
+
+def make_fp8_variant(
+    k_scale: np.ndarray,
+    v_scale: np.ndarray,
+    base: "AttentionVariant | None" = None,
+) -> AttentionVariant:
+    """Attention variant that fuses fp8 dequantization into the kernel.
+
+    ``base`` may supply additional logits functors (e.g. a soft-cap); its
+    key/value transforms must be empty — fp8 owns those slots.
+    """
+    k_scale = np.asarray(k_scale, dtype=np.float64)
+    v_scale = np.asarray(v_scale, dtype=np.float64)
+    params = (
+        ParamDecl("k_scale", default=k_scale),
+        ParamDecl("v_scale", default=v_scale),
+    )
+    if base is None:
+        return AttentionVariant(
+            name="fp8_kv",
+            params=params,
+            key_transform="k * params.k_scale[head]",
+            value_transform="v * params.v_scale[head]",
+        )
+    if base.key_transform or base.value_transform:
+        raise ValueError("base variant already uses key/value transforms")
+    return AttentionVariant(
+        name=f"fp8_{base.name}",
+        params=params + base.params,
+        key_transform="k * params.k_scale[head]",
+        value_transform="v * params.v_scale[head]",
+        query_transform=base.query_transform,
+        logits_transform=base.logits_transform,
+        logits_mask=base.logits_mask,
+        output_transform=base.output_transform,
+        use_softmax=base.use_softmax,
+    )

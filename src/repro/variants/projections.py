@@ -1,0 +1,67 @@
+"""In-kernel normalization and projection fusion.
+
+Paper §3.2.3: "FlashInfer's query and key transformation functors making it
+possible to fuse normalization, RoPE and projection (DeepSeek-AI et al.,
+2024) into the attention kernel."  Two instances:
+
+* :func:`make_qk_norm` — QK normalization (L2-normalize queries and keys
+  before the dot product), used by several 2024 models for logit
+  stability; fusing it avoids a separate elementwise kernel.
+* :func:`make_fused_kv_projection` — DeepSeek-MLA-style latent KV: the
+  cache stores compressed ``d_latent`` vectors and the kernel up-projects
+  to the head dimension on the fly, so cache traffic shrinks by
+  ``d_latent / head_dim`` while attention math is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.variant import AttentionVariant, ParamDecl
+
+
+def make_qk_norm(eps: float = 1e-6) -> AttentionVariant:
+    """L2-normalize Q and K rows inside the kernel (QK-norm)."""
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    return AttentionVariant(
+        name="qk_norm",
+        params=(ParamDecl("norm_eps", default=eps),),
+        query_transform=(
+            "q / (np.sqrt((q * q).sum(axis=-1, keepdims=True)) + params.norm_eps)"
+        ),
+        key_transform=(
+            "k / (np.sqrt((k * k).sum(axis=-1, keepdims=True)) + params.norm_eps)"
+        ),
+    )
+
+
+def make_fused_kv_projection(
+    w_k_up: np.ndarray, w_v_up: np.ndarray
+) -> AttentionVariant:
+    """Fuse latent-KV up-projection into the kernel (MLA-style).
+
+    ``w_k_up`` / ``w_v_up``: per-KV-head projection matrices of shape
+    ``(num_kv_heads, d_latent, head_dim)``.  The KV pool stores latent
+    vectors ``(slots, H_kv, d_latent)``; the kernel computes
+    ``k_latent @ W_up[head]`` after the gather, before the dot product.
+
+    Note: the simulated cost model charges KV traffic at the *query* head
+    dimension (it has no per-variant shape plumbing), so the latent-cache
+    bandwidth saving is understated — numerics are exact.
+    """
+    w_k_up = np.asarray(w_k_up, dtype=np.float64)
+    w_v_up = np.asarray(w_v_up, dtype=np.float64)
+    if w_k_up.ndim != 3 or w_v_up.ndim != 3:
+        raise ValueError("projection weights must be (num_kv_heads, d_latent, head_dim)")
+    if w_k_up.shape != w_v_up.shape:
+        raise ValueError("key and value projections must share a shape")
+    return AttentionVariant(
+        name="fused_kv_projection",
+        params=(
+            ParamDecl("w_k_up", default=w_k_up),
+            ParamDecl("w_v_up", default=w_v_up),
+        ),
+        key_transform="k @ params.w_k_up[head]",
+        value_transform="v @ params.w_v_up[head]",
+    )

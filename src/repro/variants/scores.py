@@ -1,0 +1,57 @@
+"""Score-transform variants: soft-cap, ALiBi, FlashSigmoid.
+
+All use the ``logits_transform`` functor.  FlashSigmoid additionally sets
+``use_softmax=False``, switching the kernel epilogue and the partial-state
+composition to plain summation (paper §3.2.3: "FlashInfer has an option of
+using softmax or not").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.variant import AttentionVariant, ParamDecl
+
+
+def make_logits_softcap(cap: float) -> AttentionVariant:
+    """Gemma-2 / Grok-style logit soft-capping: ``cap · tanh(s / cap)``."""
+    if cap <= 0:
+        raise ValueError("cap must be positive")
+    return AttentionVariant(
+        name="logits_softcap",
+        params=(ParamDecl("cap", default=cap),),
+        logits_transform="params.cap * np.tanh(logits / params.cap)",
+    )
+
+
+def make_alibi(slopes: np.ndarray) -> AttentionVariant:
+    """ALiBi linear position bias: ``s + slope[head] · (kv_pos − q_pos)``.
+
+    ``slopes`` has one entry per query head.
+    """
+    slopes = np.asarray(slopes, dtype=np.float64)
+    return AttentionVariant(
+        name="alibi",
+        params=(ParamDecl("slopes", default=slopes),),
+        logits_transform=(
+            "logits + params.slopes[q_head] * (kv_pos - q_pos)"
+        ),
+    )
+
+
+def alibi_slopes(num_heads: int) -> np.ndarray:
+    """The geometric slope schedule of the ALiBi paper: 2^(−8i/n)."""
+    return 2.0 ** (-8.0 * np.arange(1, num_heads + 1) / num_heads)
+
+
+def make_flash_sigmoid(scale: float = 1.0, bias: float = 0.0) -> AttentionVariant:
+    """FlashSigmoid (Ramapuram et al. 2024): sigmoid scoring, no softmax.
+
+    This is the worked example of paper Figure 5.
+    """
+    return AttentionVariant(
+        name="flash_sigmoid",
+        params=(ParamDecl("scale", default=scale), ParamDecl("bias", default=bias)),
+        logits_transform="1.0 / (1.0 + np.exp(-(logits * params.scale + params.bias)))",
+        use_softmax=False,
+    )

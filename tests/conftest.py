@@ -1,0 +1,75 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HeadConfig
+from repro.sparse import AttentionMapping, BlockSparseKV, kv_from_page_table
+from repro.utils.dtypes import StorageDType, round_to_storage
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_paged_mapping(kv_lens, qo_lens, page_size=16, causal=True):
+    """Build a mapping over a freshly laid-out page pool.
+
+    Pages are allocated contiguously per request; returns
+    ``(mapping, total_slots)``.
+    """
+    kv_lens = list(int(x) for x in kv_lens)
+    qo_lens = list(int(x) for x in qo_lens)
+    pool = sum(-(-l // page_size) for l in kv_lens)
+    pages, c = [], 0
+    for l in kv_lens:
+        n = -(-l // page_size)
+        pages.append(np.arange(c, c + n))
+        c += n
+    kv = kv_from_page_table(pages, kv_lens, page_size, pool)
+    qo_indptr = np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64)
+    return AttentionMapping(qo_indptr, kv, causal=causal), pool * page_size
+
+
+def make_shared_prefix_mapping(
+    n_clusters, cluster_size, prefix_len, suffix_len, qo_per_stream=1, page_size=16
+):
+    """Clusters of requests sharing prefix pages; returns (mapping, slots,
+    clusters) where clusters are PrefixCluster-compatible tuples."""
+    from repro.sparse import PrefixCluster
+
+    kv_lens, pages, c = [], [], 0
+    pp = prefix_len // page_size
+    assert prefix_len % page_size == 0
+    clusters = []
+    req = 0
+    for _ in range(n_clusters):
+        shared = np.arange(c, c + pp)
+        c += pp
+        members = []
+        for _ in range(cluster_size):
+            sp = -(-suffix_len // page_size)
+            own = np.arange(c, c + sp)
+            c += sp
+            pages.append(np.concatenate([shared, own]))
+            kv_lens.append(prefix_len + suffix_len)
+            members.append(req)
+            req += 1
+        clusters.append(PrefixCluster(tuple(members), prefix_len))
+    kv = kv_from_page_table(pages, kv_lens, page_size, c)
+    qo_lens = [qo_per_stream] * (n_clusters * cluster_size)
+    qo_indptr = np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64)
+    mapping = AttentionMapping(qo_indptr, kv, causal=True)
+    return mapping, c * page_size, clusters
+
+
+def fp16(x):
+    """Round through fp16 storage (what the engine does to K/V)."""
+    return round_to_storage(np.asarray(x), StorageDType.FP16).astype(np.float64)
+
+
+SMALL_HEADS = HeadConfig(4, 2, 16)
+MHA_HEADS = HeadConfig(4, 4, 16)

@@ -1,0 +1,210 @@
+"""Tests for the FlashInfer-compatible API façade."""
+
+import numpy as np
+import pytest
+
+from conftest import fp16
+from repro.api import (
+    BatchDecodeWithPagedKVCacheWrapper,
+    BatchPrefillWithPagedKVCacheWrapper,
+    BatchPrefillWithRaggedKVCacheWrapper,
+    merge_state,
+    merge_states,
+    single_decode_with_kv_cache,
+    single_prefill_with_kv_cache,
+)
+from repro.core import reference_attention
+from repro.gpu import WorkspaceBuffer
+from repro.kvcache import PagedKVCache
+
+
+def build_cache(kv_lens, rng, page_size=16, heads=2, dim=32):
+    cache = PagedKVCache(256, page_size, heads, dim)
+    seqs = []
+    for n in kv_lens:
+        sid = cache.new_seq()
+        cache.append(sid, rng.standard_normal((n, heads, dim)),
+                     rng.standard_normal((n, heads, dim)))
+        seqs.append(sid)
+    layout = cache.layout(seqs)
+    last_page_len = np.asarray(
+        [n - (len(cache.seq_pages(s)) - 1) * page_size for n, s in zip(kv_lens, seqs)]
+    )
+    return cache, seqs, layout, last_page_len
+
+
+class TestBatchDecode:
+    def test_matches_reference(self, rng):
+        kv_lens = [40, 111, 7]
+        cache, seqs, layout, last = build_cache(kv_lens, rng)
+        ws = WorkspaceBuffer(1 << 27)
+        w = BatchDecodeWithPagedKVCacheWrapper(ws, 4, 2, 32, page_size=16)
+        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        q = rng.standard_normal((3, 4, 32))
+        out = w.run(q, cache.k_pool, cache.v_pool)
+        for r, sid in enumerate(seqs):
+            k, v = cache.gather(sid)
+            ref = reference_attention(q[r : r + 1], fp16(k), fp16(v), causal=True)
+            np.testing.assert_allclose(out[r : r + 1], ref, atol=1e-6)
+
+    def test_return_lse(self, rng):
+        cache, seqs, layout, last = build_cache([24], rng)
+        w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
+        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        q = rng.standard_normal((1, 4, 32))
+        out, lse = w.run(q, cache.k_pool, cache.v_pool, return_lse=True)
+        assert lse.shape == (1, 4)
+        assert np.all(np.isfinite(lse))
+
+    def test_replan_with_grown_kv(self, rng):
+        cache, seqs, layout, last = build_cache([24, 30], rng)
+        w = BatchDecodeWithPagedKVCacheWrapper(
+            WorkspaceBuffer(1 << 26), 4, 2, 32, 16, max_batch_size=8
+        )
+        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        cache.append(seqs[0], rng.standard_normal((1, 2, 32)),
+                     rng.standard_normal((1, 2, 32)))
+        layout2 = cache.layout(seqs)
+        last2 = np.asarray(
+            [cache.seq_len(s) - (len(cache.seq_pages(s)) - 1) * 16 for s in seqs]
+        )
+        w.plan(layout2.indptr, layout2.indices, last2, cache.num_pages)
+        q = rng.standard_normal((2, 4, 32))
+        out = w.run(q, cache.k_pool, cache.v_pool)
+        k, v = cache.gather(seqs[0])
+        ref = reference_attention(q[0:1], fp16(k), fp16(v), causal=True)
+        np.testing.assert_allclose(out[0:1], ref, atol=1e-6)
+
+
+class TestBatchPrefill:
+    def test_paged_incremental_prefill(self, rng):
+        # 5 new query tokens against a 50-token history.
+        cache, seqs, layout, last = build_cache([50], rng)
+        w = BatchPrefillWithPagedKVCacheWrapper(
+            WorkspaceBuffer(1 << 27), 4, 2, 32, page_size=16, avg_qo_len=5
+        )
+        w.plan(np.array([0, 5]), layout.indptr, layout.indices, last, cache.num_pages)
+        q = rng.standard_normal((5, 4, 32))
+        out = w.run(q, cache.k_pool, cache.v_pool)
+        k, v = cache.gather(seqs[0])
+        ref = reference_attention(q, fp16(k), fp16(v), causal=True)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_ragged_full_prefill(self, rng):
+        lens = [33, 57]
+        total = sum(lens)
+        q = rng.standard_normal((total, 4, 32))
+        k = rng.standard_normal((total, 2, 32))
+        v = rng.standard_normal((total, 2, 32))
+        indptr = np.array([0, 33, 90])
+        w = BatchPrefillWithRaggedKVCacheWrapper(
+            WorkspaceBuffer(1 << 27), 4, 2, 32, avg_qo_len=45
+        )
+        w.plan(indptr, indptr, causal=True)
+        out = w.run(q, k, v)
+        for s0, s1 in zip(indptr, indptr[1:]):
+            ref = reference_attention(q[s0:s1], fp16(k[s0:s1]), fp16(v[s0:s1]),
+                                      causal=True)
+            np.testing.assert_allclose(out[s0:s1], ref, atol=1e-6)
+
+    def test_ragged_is_dense_path(self):
+        w = BatchPrefillWithRaggedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32)
+        assert w._inner.sparse_gather is False
+
+
+class TestSingleRequest:
+    def test_single_prefill(self, rng):
+        q = rng.standard_normal((20, 4, 32))
+        k = rng.standard_normal((20, 2, 32))
+        v = rng.standard_normal((20, 2, 32))
+        out = single_prefill_with_kv_cache(q, k, v, causal=True)
+        ref = reference_attention(q, fp16(k), fp16(v), causal=True)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_single_decode(self, rng):
+        q = rng.standard_normal((4, 32))
+        k = rng.standard_normal((77, 2, 32))
+        v = rng.standard_normal((77, 2, 32))
+        out = single_decode_with_kv_cache(q, k, v)
+        ref = reference_attention(q[None], fp16(k), fp16(v), causal=True)
+        np.testing.assert_allclose(out, ref[0], atol=1e-6)
+
+    def test_single_prefill_with_variant(self, rng):
+        from repro.variants import make_sliding_window
+
+        q = rng.standard_normal((16, 2, 16))
+        k = rng.standard_normal((16, 2, 16))
+        v = rng.standard_normal((16, 2, 16))
+        out = single_prefill_with_kv_cache(q, k, v, variant=make_sliding_window(1))
+        np.testing.assert_allclose(out, fp16(v), atol=1e-6)
+
+
+class TestMergeOps:
+    def test_merge_state_pair(self, rng):
+        d = 8
+        q = rng.standard_normal(d)
+        k = rng.standard_normal((12, d))
+        v = rng.standard_normal((12, d))
+
+        def state(sl):
+            s = k[sl] @ q
+            lse = np.log(np.exp(s).sum())
+            return np.exp(s - lse) @ v[sl], lse
+
+        va, sa = state(slice(0, 5))
+        vb, sb = state(slice(5, 12))
+        vm, sm = merge_state(va, np.asarray(sa), vb, np.asarray(sb))
+        v_ref, s_ref = state(slice(0, 12))
+        np.testing.assert_allclose(vm, v_ref)
+        assert sm == pytest.approx(s_ref)
+
+    def test_merge_states_stack(self, rng):
+        vs = rng.standard_normal((4, 3, 8))
+        ss = rng.uniform(-2, 2, (4, 3))
+        vm, sm = merge_states(vs, ss)
+        # Fold by hand.
+        ve, se = vs[0], ss[0]
+        for i in range(1, 4):
+            ve, se = merge_state(ve, se, vs[i], ss[i])
+        np.testing.assert_allclose(vm, ve)
+        np.testing.assert_allclose(sm, se)
+
+    def test_merge_states_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_states(np.zeros((0, 2, 4)), np.zeros((0, 2)))
+
+
+class TestAPIWithVariants:
+    def test_decode_wrapper_with_sliding_window(self, rng):
+        from repro.variants import make_sliding_window
+
+        cache, seqs, layout, last = build_cache([60], rng)
+        w = BatchDecodeWithPagedKVCacheWrapper(
+            WorkspaceBuffer(1 << 26), 4, 2, 32, 16,
+            variant=make_sliding_window(16),
+        )
+        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        q = rng.standard_normal((1, 4, 32))
+        out = w.run(q, cache.k_pool, cache.v_pool)
+        k, v = cache.gather(seqs[0])
+        kd, vd = fp16(k), fp16(v)
+        pos = np.arange(60)
+        sm = 1 / np.sqrt(32)
+        ref = np.zeros((1, 4, 32))
+        for h in range(4):
+            s = (q[0, h] @ kd[:, h // 2].T) * sm
+            s = np.where((59 - pos) < 16, s, -np.inf)
+            p = np.exp(s - s.max())
+            ref[0, h] = (p / p.sum()) @ vd[:, h // 2]
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_prefill_wrapper_simulated_report(self, rng):
+        cache, seqs, layout, last = build_cache([128], rng)
+        w = BatchPrefillWithPagedKVCacheWrapper(
+            WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=128
+        )
+        w.plan(np.array([0, 128]), layout.indptr, layout.indices, last,
+               cache.num_pages)
+        w.run(rng.standard_normal((128, 4, 32)), cache.k_pool, cache.v_pool)
+        assert w.last_report is not None
+        assert w.last_report.makespan > 0

@@ -1,0 +1,172 @@
+"""Tests for the kernel execution layer: reference oracle and cost accounting."""
+
+import numpy as np
+import pytest
+
+from conftest import make_paged_mapping
+from repro.core import HeadConfig, reference_attention, work_item_cost
+from repro.core.scheduler import WorkItem
+from repro.utils.dtypes import StorageDType
+
+
+class TestHeadConfig:
+    def test_group_size(self):
+        assert HeadConfig(32, 8, 128).group_size == 4
+
+    def test_divisibility_required(self):
+        with pytest.raises(ValueError):
+            HeadConfig(6, 4, 128)
+
+
+class TestReferenceAttention:
+    def test_uniform_weights_average_values(self, rng):
+        # Zero queries → uniform attention → output is the mean of V.
+        k = rng.standard_normal((10, 2, 8))
+        v = rng.standard_normal((10, 2, 8))
+        q = np.zeros((1, 2, 8))
+        out = reference_attention(q, k, v, causal=False)
+        np.testing.assert_allclose(out[0], v.mean(axis=0))
+
+    def test_one_hot_attention(self):
+        # A huge logit on one key selects exactly its value.
+        d = 8
+        k = np.zeros((4, 1, d))
+        k[2, 0, 0] = 100.0
+        v = np.arange(4, dtype=float)[:, None, None] * np.ones((4, 1, d))
+        q = np.zeros((1, 1, d))
+        q[0, 0, 0] = 100.0
+        out = reference_attention(q, k, v, causal=False, sm_scale=1.0)
+        np.testing.assert_allclose(out[0, 0], 2.0, atol=1e-6)
+
+    def test_gqa_head_mapping(self, rng):
+        # With g=2, query heads (0,1) must both read KV head 0.
+        k = rng.standard_normal((6, 2, 8))
+        v = rng.standard_normal((6, 2, 8))
+        q = rng.standard_normal((1, 4, 8))
+        out = reference_attention(q, k, v, causal=False)
+        q2 = q.copy()
+        q2[0, 1] = q[0, 0]
+        out2 = reference_attention(q2, k, v, causal=False)
+        np.testing.assert_allclose(out2[0, 0], out2[0, 1])
+
+    def test_default_positions_causal_decode(self, rng):
+        # Single query at the end sees everything: causal == non-causal.
+        k = rng.standard_normal((6, 2, 8))
+        v = rng.standard_normal((6, 2, 8))
+        q = rng.standard_normal((1, 2, 8))
+        np.testing.assert_allclose(
+            reference_attention(q, k, v, causal=True),
+            reference_attention(q, k, v, causal=False),
+        )
+
+
+def item_cost(kv_lens, qo_lens, item, heads=HeadConfig(8, 2, 32), **kwargs):
+    mapping, _ = make_paged_mapping(kv_lens, qo_lens, 16)
+    defaults = dict(
+        kv_tile=64, kv_dtype=StorageDType.FP16, q_tile_size=16,
+        fuse_head_groups=True, uses_tensor_cores=True, sparse_gather=True,
+    )
+    defaults.update(kwargs)
+    return work_item_cost(item, mapping, heads, **defaults)
+
+
+class TestWorkItemCost:
+    def test_causal_halves_useful_flops(self):
+        # Full prefill tile over its own KV: roughly half the positions live.
+        item = WorkItem(0, 0, 0, 0, 128, 0, 128, 0, -1)
+        causal = item_cost([128], [128], item)
+        mapping, _ = make_paged_mapping([128], [128], 16, causal=False)
+        full = work_item_cost(
+            item, mapping, HeadConfig(8, 2, 32), 64, StorageDType.FP16, 16,
+            True, True, True,
+        )
+        assert causal.flops < 0.6 * full.flops
+
+    def test_fully_masked_chunk_free(self):
+        # Chunk entirely in the future of the tile's queries (full prefill:
+        # query row 0 sits at position 0, the chunk covers 100..200).
+        item = WorkItem(0, 0, 0, 0, 1, 100, 200, 0, -1)
+        c = item_cost([200], [200], item)
+        assert c.flops == 0
+        assert c.padded_flops == 0
+
+    def test_gqa_fusion_cuts_kv_traffic(self):
+        heads = HeadConfig(8, 2, 32)
+        item = WorkItem(0, 0, 0, 0, 1, 0, 512, 0, -1)
+        fused = item_cost([512], [1], item, heads=heads, fuse_head_groups=True)
+        unfused = item_cost([512], [1], item, heads=heads, fuse_head_groups=False)
+        # Per-item KV bytes identical, but the fused item serves g=4 query
+        # heads at once: per-query-head traffic is 4× lower.
+        kv_bytes = 512 * 32 * 2 * 2
+        assert fused.bytes_read >= kv_bytes and unfused.bytes_read >= kv_bytes
+        assert fused.flops == pytest.approx(4 * unfused.flops)
+
+    def test_partial_slot_writes_state(self):
+        item_final = WorkItem(0, 0, 0, 0, 1, 0, 128, 0, -1)
+        item_partial = WorkItem(0, 0, 0, 0, 1, 0, 128, 0, 3)
+        final = item_cost([128], [1], item_final)
+        partial = item_cost([128], [1], item_partial)
+        assert partial.bytes_written > final.bytes_written  # (D+1)·fp32 vs D·fp16
+
+    def test_fp8_halves_kv_bytes(self):
+        item = WorkItem(0, 0, 0, 0, 1, 0, 512, 0, -1)
+        f16 = item_cost([512], [1], item, kv_dtype=StorageDType.FP16)
+        f8 = item_cost([512], [1], item, kv_dtype=StorageDType.FP8_E4M3)
+        assert f8.bytes_read < 0.6 * f16.bytes_read
+
+    def test_dense_gather_no_segments(self):
+        item = WorkItem(0, 0, 0, 0, 1, 0, 128, 0, -1)
+        dense = item_cost([128], [1], item, sparse_gather=False)
+        sparse = item_cost([128], [1], item, sparse_gather=True)
+        assert dense.n_gather_segments == 0
+        assert sparse.n_gather_segments > 0
+
+    def test_compute_penalty_scales_padded_only(self):
+        item = WorkItem(0, 0, 0, 0, 1, 0, 128, 0, -1)
+        base = item_cost([128], [1], item)
+        pen = item_cost([128], [1], item, compute_penalty=1.1)
+        assert pen.padded_flops == pytest.approx(1.1 * base.padded_flops)
+        assert pen.flops == base.flops
+
+
+class TestKVReuseFactor:
+    """The L2 reuse model: how many query tiles re-read a KV chunk."""
+
+    def _item(self, kv_start, kv_stop, group=0):
+        return WorkItem(0, group, 0, 0, 1, kv_start, kv_stop, 0, -1)
+
+    def test_decode_reuse_is_one(self):
+        from repro.core.kernels import kv_reuse_factor
+
+        mapping, _ = make_paged_mapping([1024], [1], 16)
+        assert kv_reuse_factor(self._item(0, 1024), mapping, 16) == 1
+
+    def test_prefill_first_chunk_read_by_all_tiles(self):
+        from repro.core.kernels import kv_reuse_factor
+
+        mapping, _ = make_paged_mapping([256], [256], 16)
+        # 256 queries, tile 64 → 4 tiles; the first KV chunk is visible to all.
+        assert kv_reuse_factor(self._item(0, 64), mapping, 64) == 4
+
+    def test_prefill_last_chunk_read_once(self):
+        from repro.core.kernels import kv_reuse_factor
+
+        mapping, _ = make_paged_mapping([256], [256], 16)
+        assert kv_reuse_factor(self._item(200, 256), mapping, 64) == 1
+
+    def test_non_causal_every_tile(self):
+        from repro.core.kernels import kv_reuse_factor
+
+        mapping, _ = make_paged_mapping([256], [256], 16, causal=False)
+        assert kv_reuse_factor(self._item(200, 256), mapping, 64) == 4
+
+    def test_reuse_divides_kv_traffic(self):
+        item = WorkItem(0, 0, 0, 0, 64, 0, 64, 0, -1)
+        heads = HeadConfig(4, 4, 32)
+        mapping, _ = make_paged_mapping([256], [256], 16)
+        c = work_item_cost(item, mapping, heads, 64, StorageDType.FP16, 64,
+                           True, True, True)
+        # First chunk: reuse 4 → KV bytes quartered vs logical.
+        logical_kv = 64 * 32 * 2 * 2
+        q_bytes = 64 * 32 * 2
+        assert c.bytes_read == pytest.approx(logical_kv / 4 + q_bytes)

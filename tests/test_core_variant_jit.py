@@ -1,0 +1,324 @@
+"""Tests for variant specs, the kernel template and the JIT cache (§3.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AttentionVariant,
+    KernelTraits,
+    ParamDecl,
+    VANILLA,
+    cache_info,
+    get_kernel,
+)
+from repro.core.jit import clear_cache
+from repro.core.template import render_kernel_source
+from repro.utils.dtypes import StorageDType
+
+
+class TestVariantValidation:
+    def test_name_must_be_identifier(self):
+        with pytest.raises(ValueError, match="identifier"):
+            AttentionVariant(name="bad name")
+
+    def test_param_name_identifier(self):
+        with pytest.raises(ValueError, match="identifier"):
+            ParamDecl("2bad")
+
+    def test_duplicate_params(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AttentionVariant(name="v", params=(ParamDecl("a"), ParamDecl("a")))
+
+    def test_bad_expression_rejected_at_declaration(self):
+        with pytest.raises(ValueError, match="logits_transform"):
+            AttentionVariant(name="v", logits_transform="1 +")
+
+    def test_statement_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionVariant(name="v", logits_mask="x = 1")
+
+
+class TestBindParams:
+    def test_defaults(self):
+        v = AttentionVariant(name="v", params=(ParamDecl("a", 2.0),))
+        assert v.bind_params().a == 2.0
+
+    def test_override(self):
+        v = AttentionVariant(name="v", params=(ParamDecl("a", 2.0),))
+        assert v.bind_params({"a": 5.0}).a == 5.0
+
+    def test_missing_required(self):
+        v = AttentionVariant(name="v", params=(ParamDecl("a"),))
+        with pytest.raises(ValueError, match="not provided"):
+            v.bind_params()
+
+    def test_unknown_param(self):
+        v = AttentionVariant(name="v")
+        with pytest.raises(ValueError, match="unknown"):
+            v.bind_params({"zzz": 1})
+
+
+class TestTemplateSpecialization:
+    def test_identity_functors_compiled_out(self):
+        src = render_kernel_source("k", "v", None, None, None, None, None, True)
+        assert "_query_transform" not in src
+        assert "_logits_mask" not in src
+        assert "np.where(keep, logits, -np.inf)" in src
+
+    def test_declared_functors_inlined(self):
+        src = render_kernel_source(
+            "k", "v", "q * 2", None, None, "logits + 1", "q_pos >= kv_pos", True
+        )
+        assert "def _query_transform" in src
+        assert "q * 2" in src
+        assert "def _logits_mask" in src
+
+    def test_no_softmax_epilogue(self):
+        src = render_kernel_source("k", "v", None, None, None, None, None, False)
+        assert "np.where(keep, logits, 0.0)" in src
+        assert "np.log" not in src
+
+    def test_source_compiles(self):
+        src = render_kernel_source(
+            "kern", "v", "q + 0", "k + 0", "v + 0", "logits", "q_pos >= kv_pos", True
+        )
+        compile(src, "<test>", "exec")
+
+
+class TestJITCache:
+    def test_cache_hit_same_spec(self):
+        clear_cache()
+        traits = KernelTraits(head_dim=16)
+        k1 = get_kernel(VANILLA, traits)
+        k2 = get_kernel(VANILLA, traits)
+        assert k1 is k2
+        assert cache_info()["cached"] == 1
+
+    def test_cache_miss_different_traits(self):
+        clear_cache()
+        k1 = get_kernel(VANILLA, KernelTraits(head_dim=16))
+        k2 = get_kernel(VANILLA, KernelTraits(head_dim=32))
+        assert k1 is not k2
+        assert cache_info()["cached"] == 2
+
+    def test_cache_miss_different_variant(self):
+        clear_cache()
+        v = AttentionVariant(name="scaled", logits_transform="logits * 2.0")
+        k1 = get_kernel(VANILLA, KernelTraits(head_dim=16))
+        k2 = get_kernel(v, KernelTraits(head_dim=16))
+        assert k1 is not k2
+
+    def test_equivalent_specs_share_kernel(self):
+        clear_cache()
+        a = AttentionVariant(name="same", logits_transform="logits * 2.0")
+        b = AttentionVariant(name="same", logits_transform="logits * 2.0")
+        assert get_kernel(a, KernelTraits(head_dim=16)) is get_kernel(
+            b, KernelTraits(head_dim=16)
+        )
+
+    def test_source_attached(self):
+        k = get_kernel(VANILLA, KernelTraits(head_dim=16))
+        assert "attention_kernel_vanilla" in k.source
+
+    def test_output_transform_compiled(self):
+        v = AttentionVariant(name="scaled_out", output_transform="o * 3.0")
+        k = get_kernel(v, KernelTraits(head_dim=4))
+        o = np.ones((2, 4))
+        assert np.allclose(k.output_transform(o, np.arange(2), 0, None), 3.0)
+
+
+class TestKernelTraits:
+    def test_fa3_row_tile_constraint(self):
+        with pytest.raises(ValueError, match="64"):
+            KernelTraits(head_dim=16, q_tile=32, backend="fa3")
+
+    def test_fa3_allows_decode_tile_1(self):
+        KernelTraits(head_dim=16, q_tile=1, backend="fa3")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            KernelTraits(head_dim=16, backend="fa9")
+
+    def test_cuda_core_microkernel_for_tile1(self):
+        assert not KernelTraits(head_dim=16, q_tile=1).uses_tensor_cores
+        assert KernelTraits(head_dim=16, q_tile=64).uses_tensor_cores
+
+
+class TestGeneratedKernelNumerics:
+    def _run(self, variant, q, k, v, causal=True, kv_tile=7, sm_scale=0.25, params=None):
+        kern = get_kernel(variant, KernelTraits(head_dim=q.shape[1]))
+        n_q, n_kv = q.shape[0], k.shape[0]
+        return kern.fn(
+            q, k, v,
+            np.arange(n_kv - n_q, n_kv), np.arange(n_kv),
+            np.zeros(n_q, dtype=np.int64), 0,
+            variant.bind_params(params), sm_scale, causal, kv_tile,
+        )
+
+    def test_matches_dense_softmax(self, rng):
+        q = rng.standard_normal((5, 8))
+        k = rng.standard_normal((12, 8))
+        v = rng.standard_normal((12, 8))
+        o, lse = self._run(VANILLA, q, k, v, causal=False)
+        s = (q @ k.T) * 0.25
+        p = np.exp(s - s.max(axis=1, keepdims=True))
+        ref = (p / p.sum(axis=1, keepdims=True)) @ v
+        assert np.allclose(o, ref)
+        assert np.allclose(lse, np.log(np.exp(s).sum(axis=1)))
+
+    def test_online_sweep_tile_size_invariant(self, rng):
+        """The online softmax result must not depend on the KV tile size."""
+        q = rng.standard_normal((3, 8))
+        k = rng.standard_normal((29, 8))
+        v = rng.standard_normal((29, 8))
+        o1, lse1 = self._run(VANILLA, q, k, v, kv_tile=1)
+        o2, lse2 = self._run(VANILLA, q, k, v, kv_tile=29)
+        o3, lse3 = self._run(VANILLA, q, k, v, kv_tile=8)
+        assert np.allclose(o1, o2) and np.allclose(o1, o3)
+        assert np.allclose(lse1, lse2) and np.allclose(lse1, lse3)
+
+    def test_causal_masks_future(self, rng):
+        q = rng.standard_normal((4, 8))
+        k = rng.standard_normal((4, 8))
+        v = rng.standard_normal((4, 8))
+        o, _ = self._run(VANILLA, q, k, v, causal=True)
+        # Row 0 attends only position 0.
+        assert np.allclose(o[0], v[0])
+
+    def test_empty_kv_returns_identity_state(self, rng):
+        q = rng.standard_normal((2, 8))
+        o, lse = self._run(VANILLA, q, np.zeros((0, 8)), np.zeros((0, 8)), causal=False)
+        assert np.allclose(o, 0.0)
+        assert np.all(np.isneginf(lse))
+
+    def test_fully_masked_rows_safe(self, rng):
+        # Causal with queries placed before every key.
+        kern = get_kernel(VANILLA, KernelTraits(head_dim=4))
+        q = rng.standard_normal((2, 4))
+        k = rng.standard_normal((3, 4))
+        v = rng.standard_normal((3, 4))
+        o, lse = kern.fn(
+            q, k, v,
+            np.array([-5, -4]), np.arange(3), np.zeros(2, dtype=np.int64), 0,
+            VANILLA.bind_params(), 1.0, True, 2,
+        )
+        assert np.allclose(o, 0.0)
+        assert np.all(np.isneginf(lse))
+        assert not np.any(np.isnan(o))
+
+    def test_no_softmax_sum_semantics(self, rng):
+        v_spec = AttentionVariant(name="linear", use_softmax=False)
+        q = rng.standard_normal((3, 8))
+        k = rng.standard_normal((9, 8))
+        v = rng.standard_normal((9, 8))
+        o, lse = self._run(v_spec, q, k, v, causal=False, sm_scale=1.0)
+        assert np.allclose(o, (q @ k.T) @ v)
+        assert np.allclose(lse, 0.0)
+
+
+class TestComposeVariants:
+    def test_masks_and_together(self, rng):
+        from repro.core import compose_variants
+        from repro.variants import make_sliding_window, make_attention_sink
+
+        a = make_sliding_window(8)
+        b = AttentionVariant(name="even_only", logits_mask="(kv_pos % 2) == 0")
+        c = compose_variants("win_even", a, b)
+        kern = get_kernel(c, KernelTraits(head_dim=8))
+        q = rng.standard_normal((1, 8))
+        k = rng.standard_normal((16, 8))
+        v = rng.standard_normal((16, 8))
+        o, _ = kern.fn(
+            q, k, v, np.array([15]), np.arange(16), np.zeros(1, dtype=np.int64), 0,
+            c.bind_params(), 1.0, True, 16,
+        )
+        # Reference: window of 8 AND even positions.
+        keep = ((15 - np.arange(16)) < 8) & (np.arange(16) % 2 == 0)
+        s = np.where(keep, q @ k.T, -np.inf)[0]
+        p = np.exp(s - s.max())
+        ref = (p / p.sum()) @ v
+        np.testing.assert_allclose(o[0], ref, atol=1e-10)
+
+    def test_transform_plus_mask(self, rng):
+        from repro.core import compose_variants
+        from repro.variants import make_logits_softcap, make_sliding_window
+
+        c = compose_variants("cap_win", make_logits_softcap(5.0), make_sliding_window(4))
+        assert c.logits_transform is not None
+        assert c.logits_mask is not None
+        assert len(c.params) == 2
+
+    def test_functor_collision_rejected(self):
+        from repro.core import compose_variants
+        from repro.variants import make_logits_softcap, make_flash_sigmoid
+
+        with pytest.raises(ValueError, match="use_softmax"):
+            compose_variants("x", make_logits_softcap(5.0), make_flash_sigmoid())
+        a = AttentionVariant(name="a", logits_transform="logits * 2")
+        b = AttentionVariant(name="b", logits_transform="logits + 1")
+        with pytest.raises(ValueError, match="logits_transform"):
+            compose_variants("x", a, b)
+
+    def test_param_collision_rejected(self):
+        from repro.core import compose_variants
+
+        a = AttentionVariant(name="a", params=(ParamDecl("w", 1.0),))
+        b = AttentionVariant(name="b", params=(ParamDecl("w", 2.0),))
+        with pytest.raises(ValueError, match="collision"):
+            compose_variants("x", a, b)
+
+    def test_gemma2_style_combo(self, rng):
+        """Gemma-2 layers use soft-cap together with sliding windows."""
+        from repro.core import compose_variants
+        from repro.variants import make_logits_softcap, make_sliding_window
+        from conftest import fp16, make_paged_mapping
+        from repro import BatchAttentionWrapper, WorkspaceBuffer
+        from repro.core import HeadConfig
+
+        c = compose_variants("gemma2", make_logits_softcap(30.0), make_sliding_window(16))
+        heads = HeadConfig(4, 2, 16)
+        mapping, slots = make_paged_mapping([48], [48], 8)
+        q = rng.standard_normal((48, 4, 16))
+        kp = rng.standard_normal((slots, 2, 16))
+        vp = rng.standard_normal((slots, 2, 16))
+        w = BatchAttentionWrapper(c, heads, WorkspaceBuffer(1 << 26), avg_qo_len=48)
+        w.plan(mapping)
+        out, _, _ = w.run(q, kp, vp)
+
+        k, v = fp16(kp[:48]), fp16(vp[:48])
+        pos = np.arange(48)
+        sm = 1 / np.sqrt(16)
+        ref = np.zeros_like(q)
+        for h in range(4):
+            s = 30 * np.tanh((q[:, h] @ k[:, h // 2].T) * sm / 30)
+            keep = (pos[:, None] >= pos[None, :]) & ((pos[:, None] - pos[None, :]) < 16)
+            s = np.where(keep, s, -np.inf)
+            m = s.max(axis=1, keepdims=True)
+            p = np.exp(s - m)
+            ref[:, h] = (p / p.sum(axis=1, keepdims=True)) @ v[:, h // 2]
+        np.testing.assert_allclose(out, ref, atol=1e-8)
+
+
+class TestJITThreadSafety:
+    def test_concurrent_compilation_single_kernel(self):
+        """Racing get_kernel calls must all return the same cached object."""
+        import threading
+
+        clear_cache()
+        v = AttentionVariant(name="race", logits_transform="logits * 1.5")
+        traits = KernelTraits(head_dim=16)
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(get_kernel(v, traits))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 8
+        assert all(r is results[0] for r in results)
+        assert cache_info()["cached"] == 1

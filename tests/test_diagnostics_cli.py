@@ -1,0 +1,97 @@
+"""Tests for diagnostics rendering and the CLI entry point."""
+
+import numpy as np
+import pytest
+
+from conftest import make_paged_mapping
+from repro import A100_40G, BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, VANILLA
+from repro.diagnostics import format_cta_load, format_plan, format_plan_load, format_report
+
+
+@pytest.fixture
+def plan_and_report():
+    mapping, _ = make_paged_mapping([3000, 64, 900], [1, 1, 1])
+    w = BatchAttentionWrapper(
+        VANILLA, HeadConfig(4, 2, 16), WorkspaceBuffer(1 << 27), avg_qo_len=1
+    )
+    plan = w.plan(mapping)
+    _, _, report = w.run(None, compute=False)
+    return plan, report, w
+
+
+class TestDiagnostics:
+    def test_format_report_mentions_key_metrics(self, plan_and_report):
+        _, report, _ = plan_and_report
+        text = format_report(report, A100_40G)
+        for token in ("makespan", "work tiles", "bandwidth", "balance"):
+            assert token in text
+
+    def test_format_plan_counts_items(self, plan_and_report):
+        plan, _, _ = plan_and_report
+        text = format_plan(plan)
+        assert f"{plan.num_work_items}" in text.splitlines()[0]
+        assert "kv_range" in text
+
+    def test_format_plan_truncates(self, plan_and_report):
+        plan, _, _ = plan_and_report
+        text = format_plan(plan, max_rows=2)
+        assert "more)" in text
+
+    def test_plan_load_histogram(self, plan_and_report):
+        plan, _, _ = plan_and_report
+        text = format_plan_load(plan, buckets=4)
+        assert text.count("CTA") >= 4
+        assert "█" in text
+
+    def test_cta_load_handles_combined_reports(self, plan_and_report):
+        _, report, _ = plan_and_report
+        combined = report.combine(report)
+        assert "unavailable" in format_cta_load(combined)
+
+    def test_cta_load_histogram(self):
+        from repro.gpu import PersistentKernelExecutor, TileCost
+
+        exe = PersistentKernelExecutor(A100_40G)
+        rep = exe.run_persistent(
+            [[TileCost(flops=1e8, padded_flops=1e8)] for _ in range(8)]
+        )
+        assert format_cta_load(rep).count("CTA") >= 1
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "H100" in out
+
+    def test_demo(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule plan" in out and "simulated execution" in out
+
+    def test_generate(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["generate", "--tokens", "5", "--temperature", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "output" in out
+
+    def test_generate_deterministic_at_temp0(self, capsys):
+        from repro.__main__ import main
+
+        main(["generate", "--tokens", "5", "--temperature", "0"])
+        a = capsys.readouterr().out
+        main(["generate", "--tokens", "5", "--temperature", "0"])
+        b = capsys.readouterr().out
+        assert a == b
+
+    def test_figures(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["figures"]) == 0
+        assert "fig7" in capsys.readouterr().out

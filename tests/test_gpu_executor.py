@@ -1,0 +1,177 @@
+"""Tests for the simulated GPU: cost model and event-driven executor."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import A100_40G, H100_80G, GPUSpec, KernelCostModel, PersistentKernelExecutor, TileCost
+from repro.gpu.cost import TRANSACTION_BYTES
+
+
+def mem_tile(bytes_read, bytes_written=0.0):
+    return TileCost(flops=1.0, padded_flops=1.0, bytes_read=bytes_read,
+                    bytes_written=bytes_written, uses_tensor_cores=False)
+
+
+def compute_tile(flops):
+    return TileCost(flops=flops, padded_flops=flops, bytes_read=0.0,
+                    uses_tensor_cores=True)
+
+
+class TestSpec:
+    def test_per_sm_shares(self):
+        assert A100_40G.sm_bandwidth * A100_40G.num_sms == pytest.approx(
+            A100_40G.peak_bandwidth_bytes
+        )
+        assert H100_80G.sm_fp16_flops * H100_80G.num_sms == pytest.approx(
+            H100_80G.peak_fp16_flops
+        )
+
+    def test_tma_flags(self):
+        assert H100_80G.supports_tma and not A100_40G.supports_tma
+
+
+class TestCostModel:
+    def test_transaction_quantization(self):
+        cm = KernelCostModel(A100_40G)
+        # 64-byte runs waste half of every 128-byte transaction.
+        c = TileCost(bytes_read=1000.0, contiguous_run_bytes=64.0, n_gather_segments=2)
+        assert cm.effective_bytes_read(c) == pytest.approx(2000.0)
+        # Aligned runs waste nothing.
+        c2 = TileCost(bytes_read=1000.0, contiguous_run_bytes=256.0, n_gather_segments=2)
+        assert cm.effective_bytes_read(c2) == pytest.approx(1000.0)
+
+    def test_dense_loads_unquantized(self):
+        cm = KernelCostModel(A100_40G)
+        c = TileCost(bytes_read=1000.0)
+        assert cm.effective_bytes_read(c) == 1000.0
+
+    def test_resource_share_validated(self):
+        cm = KernelCostModel(A100_40G)
+        with pytest.raises(ValueError):
+            cm.tile_time(mem_tile(100.0), resource_share=0.0)
+
+    def test_padded_flops_floor(self):
+        c = TileCost(flops=100.0, padded_flops=10.0)
+        assert c.padded_flops == 100.0
+
+    def test_merge(self):
+        a = mem_tile(10.0)
+        b = compute_tile(5.0)
+        m = a.merge(b)
+        assert m.bytes_read == 10.0 and m.flops == 6.0
+
+
+class TestPersistentExecutor:
+    def test_bandwidth_never_exceeds_peak(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        queues = [[mem_tile(1e6)] for _ in range(A100_40G.num_sms)]
+        rep = exe.run_persistent(queues)
+        assert rep.achieved_bandwidth() <= A100_40G.peak_bandwidth_bytes * 1.001
+
+    def test_oversubscribed_grid_not_faster(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        n = A100_40G.num_sms
+        one = exe.run_persistent([[mem_tile(1e6)] for _ in range(n)])
+        two = exe.run_persistent([[mem_tile(0.5e6)] for _ in range(2 * n)])
+        assert two.makespan == pytest.approx(one.makespan, rel=0.05)
+
+    def test_straggler_limited_by_sm_cap(self):
+        """A single CTA holding all bytes cannot draw full device bandwidth —
+        the reason split-KV matters."""
+        exe = PersistentKernelExecutor(A100_40G, single_sm_bw_fraction=0.05)
+        total = 100e6
+        lone = exe.run_persistent([[mem_tile(total)]] + [[] for _ in range(107)])
+        split = exe.run_persistent([[mem_tile(total / 108)] for _ in range(108)])
+        assert lone.makespan > 10 * split.makespan
+
+    def test_balance_metric(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        rep = exe.run_persistent([[mem_tile(1e6)], [mem_tile(1e6)]])
+        assert rep.balance == pytest.approx(1.0)
+        rep2 = exe.run_persistent([[mem_tile(1e6)], []])
+        assert rep2.balance < 1.0
+
+    def test_compute_bound_uses_tensor_roof(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        cm = exe.cost_model
+        flops = 1e9
+        rep = exe.run_persistent([[compute_tile(flops)]])
+        expected = flops / (A100_40G.sm_fp16_flops * cm.mma_efficiency)
+        assert rep.makespan == pytest.approx(
+            expected + cm.tile_latency + A100_40G.kernel_dispatch_overhead, rel=0.01
+        )
+
+    def test_cuda_core_roof_slower(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        tc = exe.run_persistent([[compute_tile(1e9)]])
+        cc = TileCost(flops=1e9, padded_flops=1e9, uses_tensor_cores=False)
+        cuda = exe.run_persistent([[cc]])
+        assert cuda.makespan > tc.makespan
+
+    def test_empty(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        rep = exe.run_persistent([])
+        assert rep.num_tiles == 0 and rep.total_bytes == 0
+
+    def test_totals_accumulate(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        rep = exe.run_persistent([[mem_tile(100.0, 50.0), compute_tile(10.0)]])
+        assert rep.total_bytes == 150.0
+        assert rep.total_flops == 11.0
+        assert rep.num_tiles == 2
+
+
+class TestGridExecutor:
+    def test_wave_quantization(self):
+        """One block more than the SM count costs a whole extra wave."""
+        exe = PersistentKernelExecutor(A100_40G)
+        n = A100_40G.num_sms
+        flops = 1e9
+        full = exe.run_grid([compute_tile(flops)] * n)
+        plus1 = exe.run_grid([compute_tile(flops)] * (n + 1))
+        assert plus1.makespan > 1.8 * full.makespan
+
+    def test_in_order_dispatch_tail(self):
+        """A heavy block submitted last extends the makespan by its length."""
+        exe = PersistentKernelExecutor(A100_40G)
+        light = [compute_tile(1e7)] * (A100_40G.num_sms * 2)
+        heavy = compute_tile(1e9)
+        early = exe.run_grid([heavy] + light)
+        late = exe.run_grid(light + [heavy])
+        assert late.makespan > early.makespan
+
+    def test_combine_sequential(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        a = exe.run_grid([compute_tile(1e8)])
+        b = exe.run_grid([compute_tile(1e8)])
+        c = a.combine(b)
+        assert c.makespan == pytest.approx(a.makespan + b.makespan)
+        assert c.total_flops == 2e8
+
+
+class TestMemEfficiency:
+    def test_lower_efficiency_slower(self):
+        good = PersistentKernelExecutor(A100_40G, KernelCostModel(A100_40G))
+        bad = PersistentKernelExecutor(
+            A100_40G, KernelCostModel(A100_40G, mem_efficiency=0.5)
+        )
+        queues = [[mem_tile(1e6)] for _ in range(108)]
+        assert bad.run_persistent(queues).makespan > 1.5 * good.run_persistent(queues).makespan
+
+
+class TestReportAccessors:
+    def test_zero_makespan_guards(self):
+        from repro.gpu import SimReport
+
+        rep = SimReport(0.0, 0.0, 0.0, 0, 0, [])
+        assert rep.achieved_bandwidth() == 0.0
+        assert rep.achieved_flops() == 0.0
+        assert rep.balance == 1.0
+
+    def test_utilizations_consistent(self):
+        exe = PersistentKernelExecutor(A100_40G)
+        rep = exe.run_persistent([[mem_tile(1e6)] for _ in range(108)])
+        assert rep.bandwidth_utilization(A100_40G) == pytest.approx(
+            rep.achieved_bandwidth() / A100_40G.peak_bandwidth_bytes
+        )
+        assert 0 < rep.flops_utilization(A100_40G) < 1

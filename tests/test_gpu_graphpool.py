@@ -1,0 +1,72 @@
+"""Tests for the CUDAGraph pool (Listing 1's ``select_graph``)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_paged_mapping
+from repro import BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, VANILLA
+from repro.gpu import CudaGraph, CudaGraphPool, GraphCaptureError, batch_size_bucket
+
+
+class TestBucketing:
+    def test_powers_of_two(self):
+        assert batch_size_bucket(1) == 1
+        assert batch_size_bucket(2) == 2
+        assert batch_size_bucket(3) == 4
+        assert batch_size_bucket(17) == 32
+        assert batch_size_bucket(64) == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            batch_size_bucket(0)
+
+
+class TestPool:
+    def test_capture_and_select(self):
+        pool = CudaGraphPool()
+        calls = []
+        pool.capture("decode_b8", lambda: CudaGraph.add_launch(
+            lambda: calls.append("k"), signature=()))
+        g = pool.select("decode_b8")
+        g.replay()
+        assert calls == ["k", "k"]
+        assert len(pool) == 1
+        assert "decode_b8" in pool
+
+    def test_duplicate_key_rejected(self):
+        pool = CudaGraphPool()
+        pool.capture("x", lambda: None)
+        with pytest.raises(GraphCaptureError, match="already"):
+            pool.capture("x", lambda: None)
+
+    def test_missing_key(self):
+        pool = CudaGraphPool()
+        with pytest.raises(KeyError, match="no captured graph"):
+            pool.select("nope")
+
+    def test_listing1_workflow(self):
+        """Capture one graph per batch bucket; select and replay at runtime
+        with fresh plan data, exactly as in Listing 1."""
+        heads = HeadConfig(2, 2, 8)
+        ws = WorkspaceBuffer(1 << 27)
+        pool = CudaGraphPool()
+        wrappers = {}
+        for bucket in (2, 4):
+            w = BatchAttentionWrapper(
+                VANILLA, heads, ws, avg_qo_len=1, name=f"b{bucket}",
+                max_batch_size=bucket, max_total_qo=bucket,
+            )
+            m, _ = make_paged_mapping([64] * bucket, [1] * bucket, 16)
+            w.plan(m)  # dummy plan before capture (Listing 1)
+            pool.capture(bucket, lambda w=w: w.run(None, compute=False))
+            wrappers[bucket] = w
+
+        # Runtime: batch of 3 → bucket 4.
+        bucket = batch_size_bucket(3)
+        w = wrappers[bucket]
+        m, _ = make_paged_mapping([128] * 3 + [16], [1] * 4, 16)  # padded to 4
+        w.plan(m)
+        pool.select(bucket).replay()
+        assert w.last_report is not None
+        assert w.plan_count == 2

@@ -1,0 +1,153 @@
+"""Cross-module integration tests: cache managers feeding real attention."""
+
+import numpy as np
+import pytest
+
+from conftest import fp16
+from repro import BatchAttentionWrapper, ComposableAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, VANILLA, reference_attention
+from repro.kvcache import PagedKVCache, RadixTree, StreamingKVCache
+from repro.sparse import AttentionMapping, decompose_shared_prefix, detect_shared_prefixes
+from repro.baselines import unfused_rope_attention
+from repro.variants import FUSED_ROPE
+
+HEADS = HeadConfig(4, 2, 16)
+
+
+class TestPagedCacheToKernel:
+    def test_multi_step_decode_loop(self, rng):
+        """Prefill into the cache, then decode step by step; every step's
+        attention output must match the oracle over the live cache."""
+        cache = PagedKVCache(64, 4, 2, 16)
+        sid = cache.new_seq()
+        prompt = 13
+        k_hist = rng.standard_normal((prompt, 2, 16))
+        v_hist = rng.standard_normal((prompt, 2, 16))
+        cache.append(sid, k_hist, v_hist)
+        ws = WorkspaceBuffer(1 << 26)
+        w = BatchAttentionWrapper(VANILLA, HEADS, ws, avg_qo_len=1,
+                                  max_batch_size=4, max_total_qo=16)
+        for step in range(5):
+            k_new = rng.standard_normal((1, 2, 16))
+            v_new = rng.standard_normal((1, 2, 16))
+            cache.append(sid, k_new, v_new)
+            k_hist = np.concatenate([k_hist, k_new])
+            v_hist = np.concatenate([v_hist, v_new])
+            q = rng.standard_normal((1, 4, 16))
+            mapping = AttentionMapping(
+                np.array([0, 1]), cache.layout([sid]), causal=True
+            )
+            w.plan(mapping)
+            out, _, _ = w.run(q, cache.k_pool, cache.v_pool)
+            ref = reference_attention(q, fp16(k_hist), fp16(v_hist), causal=True)
+            np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_forked_sequences_attend_correctly(self, rng):
+        """Parallel generation: forks share prompt pages but attend their own
+        suffixes."""
+        cache = PagedKVCache(64, 4, 2, 16)
+        root = cache.new_seq()
+        k0 = rng.standard_normal((8, 2, 16))
+        v0 = rng.standard_normal((8, 2, 16))
+        cache.append(root, k0, v0)
+        forks = [cache.fork_seq(root) for _ in range(2)] + [root]
+        hist = {}
+        for i, s in enumerate(forks):
+            kn = rng.standard_normal((2, 2, 16)) + i  # distinct suffixes
+            vn = rng.standard_normal((2, 2, 16)) - i
+            cache.append(s, kn, vn)
+            hist[s] = (np.concatenate([k0, kn]), np.concatenate([v0, vn]))
+        mapping = AttentionMapping(
+            np.arange(len(forks) + 1), cache.layout(forks), causal=True
+        )
+        q = rng.standard_normal((len(forks), 4, 16))
+        w = BatchAttentionWrapper(VANILLA, HEADS, WorkspaceBuffer(1 << 26), avg_qo_len=1)
+        w.plan(mapping)
+        out, _, _ = w.run(q, cache.k_pool, cache.v_pool)
+        for r, s in enumerate(forks):
+            kh, vh = hist[s]
+            ref = reference_attention(q[r : r + 1], fp16(kh), fp16(vh), causal=True)
+            np.testing.assert_allclose(out[r : r + 1], ref, atol=1e-6)
+
+    def test_fork_cluster_composable_numerics(self, rng):
+        """Auto-detected prefix clusters + composable wrapper == single format."""
+        cache = PagedKVCache(128, 4, 2, 16)
+        root = cache.new_seq()
+        cache.append(root, rng.standard_normal((16, 2, 16)), rng.standard_normal((16, 2, 16)))
+        streams = [cache.fork_seq(root) for _ in range(3)] + [root]
+        for s in streams:
+            cache.append(s, rng.standard_normal((3, 2, 16)), rng.standard_normal((3, 2, 16)))
+        mapping = AttentionMapping(
+            np.arange(len(streams) + 1), cache.layout(streams), causal=True
+        )
+        clusters = detect_shared_prefixes(mapping.kv)
+        assert clusters and clusters[0].prefix_len == 16
+        comp = decompose_shared_prefix(mapping, clusters)
+        q = rng.standard_normal((len(streams), 4, 16))
+        cw = ComposableAttentionWrapper(VANILLA, HEADS, WorkspaceBuffer(1 << 27))
+        cw.plan(comp)
+        out_c, _ = cw.run(q, cache.k_pool, cache.v_pool)
+        sw = BatchAttentionWrapper(VANILLA, HEADS, WorkspaceBuffer(1 << 27), avg_qo_len=1)
+        sw.plan(mapping)
+        out_s, _, _ = sw.run(q, cache.k_pool, cache.v_pool)
+        np.testing.assert_allclose(out_c, out_s, atol=1e-6)
+
+
+class TestRadixToKernel:
+    def test_prefix_cache_hit_preserves_attention(self, rng):
+        """A second request reusing cached prefix pages must compute the same
+        attention as one that recomputed the prefix."""
+        cache = PagedKVCache(64, 4, 2, 16)
+        tree = RadixTree(cache)
+        tokens = list(range(12))
+        a = cache.new_seq()
+        ka = rng.standard_normal((12, 2, 16))
+        va = rng.standard_normal((12, 2, 16))
+        cache.append(a, ka, va)
+        tree.insert(tokens, cache.seq_pages(a))
+
+        matched, pages = tree.match_prefix(tokens + [99])
+        assert matched == 12
+        b = cache.new_seq(shared_pages=pages, shared_len=matched)
+        kb = rng.standard_normal((1, 2, 16))
+        vb = rng.standard_normal((1, 2, 16))
+        cache.append(b, kb, vb)
+
+        mapping = AttentionMapping(np.array([0, 1]), cache.layout([b]), causal=True)
+        q = rng.standard_normal((1, 4, 16))
+        w = BatchAttentionWrapper(VANILLA, HEADS, WorkspaceBuffer(1 << 26), avg_qo_len=1)
+        w.plan(mapping)
+        out, _, _ = w.run(q, cache.k_pool, cache.v_pool)
+        ref = reference_attention(
+            q, fp16(np.concatenate([ka, kb])), fp16(np.concatenate([va, vb])), causal=True
+        )
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+
+class TestStreamingLLMPipeline:
+    def test_fused_rope_on_rolling_cache_matches_oracle(self, rng):
+        """The §4.3 pipeline: StreamingKVCache + fused-RoPE kernel equals the
+        unfused oracle (rotate cache at cache positions, then attend)."""
+        c = StreamingKVCache(1, num_sinks=2, window=6, num_kv_heads=2, head_dim=16)
+        kept_k, kept_v = [], []
+        rng2 = np.random.default_rng(1)
+        for i in range(15):
+            k = rng2.standard_normal((1, 2, 16))
+            v = rng2.standard_normal((1, 2, 16))
+            c.append(0, k, v)
+        m = c.mapping([0], [1])
+        slots = m.kv.slot_indices(0)
+        k_cache = c.k_pool[slots]
+        v_cache = c.v_pool[slots]
+
+        q = rng.standard_normal((1, 4, 16))
+        w = BatchAttentionWrapper(FUSED_ROPE, HEADS, WorkspaceBuffer(1 << 26), avg_qo_len=1)
+        w.plan(m)
+        out, _, _ = w.run(q, c.k_pool, c.v_pool)
+
+        n = len(slots)
+        ref = unfused_rope_attention(
+            q, fp16(k_cache), fp16(v_cache),
+            q_pos=np.array([n - 1]), kv_pos=np.arange(n), causal=True,
+        )
+        np.testing.assert_allclose(out, ref, atol=1e-6)

@@ -1,0 +1,74 @@
+"""Tests for sampling policies."""
+
+import numpy as np
+import pytest
+
+from repro.models.sampling import SamplingParams, sample_token
+
+
+class TestGreedy:
+    def test_temperature_zero_is_argmax(self):
+        logits = np.array([0.1, 3.0, -1.0])
+        assert sample_token(logits, SamplingParams(temperature=0.0)) == 1
+
+
+class TestDistributions:
+    def test_matches_softmax_frequencies(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([2.0, 1.0, 0.0])
+        counts = np.zeros(3)
+        for _ in range(4000):
+            counts[sample_token(logits, SamplingParams(), rng)] += 1
+        probs = np.exp(logits) / np.exp(logits).sum()
+        np.testing.assert_allclose(counts / 4000, probs, atol=0.03)
+
+    def test_low_temperature_sharpens(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([1.0, 0.5])
+        hot = sum(sample_token(logits, SamplingParams(temperature=5.0), rng) == 0
+                  for _ in range(1000))
+        cold = sum(sample_token(logits, SamplingParams(temperature=0.1), rng) == 0
+                   for _ in range(1000))
+        assert cold > hot
+
+    def test_top_k_excludes_tail(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([5.0, 4.0, -10.0, -10.0])
+        for _ in range(200):
+            assert sample_token(logits, SamplingParams(top_k=2), rng) in (0, 1)
+
+    def test_top_p_excludes_tail(self):
+        rng = np.random.default_rng(0)
+        logits = np.array([10.0, 0.0, 0.0, 0.0])
+        # p(token0) > 0.99: nucleus of 0.9 keeps only token 0.
+        for _ in range(100):
+            assert sample_token(logits, SamplingParams(top_p=0.9), rng) == 0
+
+    def test_top_p_keeps_at_least_one(self):
+        rng = np.random.default_rng(0)
+        logits = np.zeros(4)
+        assert sample_token(logits, SamplingParams(top_p=0.01), rng) in range(4)
+
+    def test_seed_reproducible(self):
+        logits = np.linspace(0, 1, 8)
+        a = [sample_token(logits, SamplingParams(), np.random.default_rng(7)) for _ in range(3)]
+        b = [sample_token(logits, SamplingParams(), np.random.default_rng(7)) for _ in range(3)]
+        assert a == b
+
+
+class TestValidation:
+    def test_param_bounds(self):
+        with pytest.raises(ValueError):
+            SamplingParams(temperature=-1)
+        with pytest.raises(ValueError):
+            SamplingParams(top_k=-1)
+        with pytest.raises(ValueError):
+            SamplingParams(top_p=0.0)
+
+    def test_logits_shape(self):
+        with pytest.raises(ValueError):
+            sample_token(np.zeros((2, 2)))
+
+    def test_all_neg_inf_rejected(self):
+        with pytest.raises(ValueError):
+            sample_token(np.full(4, -np.inf), SamplingParams(temperature=1.0))

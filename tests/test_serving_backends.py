@@ -1,0 +1,66 @@
+"""Unit tests for the serving attention backends."""
+
+import numpy as np
+import pytest
+
+from conftest import make_paged_mapping
+from repro.core import HeadConfig
+from repro.gpu import A100_40G, H100_80G
+from repro.serving import FlashInferBackend, TritonBackend, TRTLLMBackend
+
+HEADS = HeadConfig(32, 8, 128)
+
+
+class TestFlashInferBackend:
+    def test_attention_time_monotone_in_kv(self):
+        be = FlashInferBackend(HEADS, H100_80G)
+        short, _ = make_paged_mapping([256] * 8, [1] * 8, 16)
+        long, _ = make_paged_mapping([4096] * 8, [1] * 8, 16)
+        assert be.attention_time(long, decode=True) > be.attention_time(short, decode=True)
+
+    def test_wrappers_cached_per_phase(self):
+        be = FlashInferBackend(HEADS, H100_80G)
+        m, _ = make_paged_mapping([256] * 4, [1] * 4, 16)
+        be.attention_time(m, decode=True)
+        w1 = be._wrappers["decode"]
+        be.attention_time(m, decode=True)
+        assert be._wrappers["decode"] is w1
+
+    def test_prefill_and_decode_use_distinct_tiles(self):
+        be = FlashInferBackend(HEADS, H100_80G)
+        d, _ = make_paged_mapping([256] * 4, [1] * 4, 16)
+        p, _ = make_paged_mapping([256] * 4, [256] * 4, 16)
+        be.attention_time(d, decode=True)
+        be.attention_time(p, decode=False)
+        assert be._wrappers["decode"].q_tile < be._wrappers["prefill"].q_tile
+
+    def test_composable_wrapper_cached_per_format_count(self):
+        from repro.sparse import ComposableFormat
+
+        be = FlashInferBackend(HEADS, H100_80G, composable=True)
+        m1, _ = make_paged_mapping([256] * 4, [1] * 4, 16)
+        be.attention_time(ComposableFormat.single(m1), decode=True)
+        cw = be._composable_wrappers["decode_1"]
+        m2, _ = make_paged_mapping([512] * 4, [1] * 4, 16)
+        be.attention_time(ComposableFormat.single(m2), decode=True)
+        assert be._composable_wrappers["decode_1"] is cw
+
+
+class TestBackendOrdering:
+    def test_triton_attention_slower(self):
+        mapping, _ = make_paged_mapping([2048] * 16, [1] * 16, 16)
+        fi = FlashInferBackend(HEADS, A100_40G).attention_time(mapping, decode=True)
+        tr = TritonBackend(HEADS, A100_40G).attention_time(mapping, decode=True)
+        assert tr > 1.3 * fi
+
+    def test_trtllm_attention_matches_flashinfer(self):
+        mapping, _ = make_paged_mapping([2048] * 16, [1] * 16, 16)
+        fi = FlashInferBackend(HEADS, A100_40G).attention_time(mapping, decode=True)
+        trt = TRTLLMBackend(HEADS, A100_40G).attention_time(mapping, decode=True)
+        assert trt == pytest.approx(fi, rel=0.05)
+
+    def test_trtllm_better_stack_constants(self):
+        fi = FlashInferBackend(HEADS, A100_40G).characteristics
+        trt = TRTLLMBackend(HEADS, A100_40G).characteristics
+        assert trt.gemm_efficiency > fi.gemm_efficiency
+        assert trt.allreduce_efficiency > fi.allreduce_efficiency

@@ -1,0 +1,181 @@
+"""Tests for BlockSparseKV and AttentionMapping."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import AttentionMapping, BlockSparseKV, kv_from_page_table
+from repro.sparse.conversions import bsr_from_page_table, mapping_from_bsr
+
+
+class TestBlockSparseKV:
+    def test_slot_indices_full(self):
+        kv = kv_from_page_table([np.array([2, 0, 1])], [12], 4, 3)
+        assert np.array_equal(kv.slot_indices(0), [8, 9, 10, 11, 0, 1, 2, 3, 4, 5, 6, 7])
+
+    def test_slot_indices_partial_last_page(self):
+        kv = kv_from_page_table([np.array([0, 1])], [6], 4, 2)
+        assert np.array_equal(kv.slot_indices(0), [0, 1, 2, 3, 4, 5])
+
+    def test_slot_indices_chunk_range(self):
+        kv = kv_from_page_table([np.array([1, 0, 2])], [12], 4, 3)
+        # Chunk [3, 9): crosses the first→second page boundary.
+        assert np.array_equal(kv.slot_indices(0, 3, 9), [7, 0, 1, 2, 3, 8])
+
+    def test_chunk_beyond_length_clamps(self):
+        kv = kv_from_page_table([np.array([0])], [3], 4, 1)
+        assert np.array_equal(kv.slot_indices(0, 1, 100), [1, 2])
+
+    def test_chunk_invalid_range(self):
+        kv = kv_from_page_table([np.array([0])], [3], 4, 1)
+        with pytest.raises(ValueError):
+            kv.slot_indices(0, 2, 1)
+
+    def test_empty_chunk(self):
+        kv = kv_from_page_table([np.array([0])], [4], 4, 1)
+        assert kv.slot_indices(0, 2, 2).size == 0
+
+    def test_page_count_validation(self):
+        with pytest.raises(ValueError, match="pages"):
+            kv_from_page_table([np.array([0])], [9], 4, 2)
+
+    def test_kv_lens_shape_validation(self):
+        with pytest.raises(ValueError):
+            BlockSparseKV(4, 2, np.array([0, 1]), np.array([0]), np.array([4, 4]))
+
+    def test_block_indices_range(self):
+        with pytest.raises(ValueError, match="pool"):
+            BlockSparseKV(4, 2, np.array([0, 1]), np.array([5]), np.array([4]))
+
+    def test_from_slot_lists(self):
+        kv = BlockSparseKV.from_slot_lists(
+            [np.array([4, 5, 6, 7, 0, 1])], block_size=4, pool_blocks=2
+        )
+        assert np.array_equal(kv.group_blocks(0), [1, 0])
+        assert kv.kv_lens[0] == 6
+
+    def test_from_slot_lists_rejects_misaligned(self):
+        with pytest.raises(ValueError, match="aligned"):
+            BlockSparseKV.from_slot_lists([np.array([1, 2, 3, 4])], 4, 2)
+
+    def test_from_slot_lists_rejects_noncontiguous(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            BlockSparseKV.from_slot_lists([np.array([0, 1, 3, 2])], 4, 1)
+
+
+class TestAttentionMapping:
+    def test_default_positions_decode(self):
+        kv = kv_from_page_table([np.arange(2), np.arange(2, 4)], [8, 5], 4, 4)
+        m = AttentionMapping(np.array([0, 1, 2]), kv, causal=True)
+        # Decode convention: the single query sits at the last position.
+        assert np.array_equal(m.q_pos_offset, [7, 4])
+        assert np.array_equal(m.kv_pos_offset, [0, 0])
+        assert np.array_equal(m.q_row_starts, [0, 1])
+
+    def test_default_positions_prefill(self):
+        kv = kv_from_page_table([np.arange(2)], [8], 4, 2)
+        m = AttentionMapping(np.array([0, 8]), kv)
+        assert m.q_pos_offset[0] == 0
+
+    def test_group_count_mismatch(self):
+        kv = kv_from_page_table([np.arange(2)], [8], 4, 2)
+        with pytest.raises(ValueError, match="groups"):
+            AttentionMapping(np.array([0, 4, 8]), kv)
+
+    def test_explicit_offsets_validated(self):
+        kv = kv_from_page_table([np.arange(2)], [8], 4, 2)
+        with pytest.raises(ValueError, match="q_pos_offset"):
+            AttentionMapping(np.array([0, 8]), kv, q_pos_offset=np.array([0, 1]))
+
+    def test_qo_lens(self):
+        kv = kv_from_page_table([np.arange(1), np.arange(1, 2)], [4, 4], 4, 2)
+        m = AttentionMapping(np.array([0, 3, 4]), kv)
+        assert np.array_equal(m.qo_lens, [3, 1])
+        assert m.total_qo == 4
+
+
+class TestBSRBridge:
+    def test_figure2_bsr_from_page_table(self):
+        # Paper Figure 2: B_r = queries per request, B_c = page size.
+        bsr = bsr_from_page_table(
+            [np.array([0, 2]), np.array([1])], [8, 3], 4, 3, queries_per_request=4
+        )
+        assert bsr.shape == (8, 12)
+        assert bsr.block_size == (4, 4)
+        mask = bsr.to_dense_mask()
+        assert mask[0:4, 0:4].all() and mask[0:4, 8:12].all()
+        assert mask[4:8, 4:7].all() and not mask[4:8, 7].any()
+
+    def test_mapping_from_bsr(self):
+        bsr = bsr_from_page_table([np.array([0])], [4], 4, 1, queries_per_request=2)
+        m = mapping_from_bsr(bsr, causal=False)
+        assert m.num_groups == 1
+        assert m.total_qo == 2
+        assert np.array_equal(m.kv.slot_indices(0), [0, 1, 2, 3])
+
+
+class TestStructuralSparseAttention:
+    """Attention restricted by BSR *structure* (paper §3.1.1): the kernel
+    simply never gathers the zero blocks — no mask functor involved."""
+
+    def _block_mask(self, n_brows, n_bcols, density, rng):
+        mask = rng.random((n_brows, n_bcols)) < density
+        mask[:, 0] = True  # keep every row non-empty
+        return mask
+
+    def test_bsr_structure_equals_dense_mask(self, rng=None):
+        import numpy as np
+        from repro import BatchAttentionWrapper, WorkspaceBuffer
+        from repro.core import HeadConfig, VANILLA
+        from repro.sparse import BSRMatrix, mapping_from_bsr
+        from repro.utils.dtypes import StorageDType, round_to_storage
+
+        rng = np.random.default_rng(5)
+        br, bc = 4, 8
+        n_brows, n_bcols = 6, 8
+        blocks = self._block_mask(n_brows, n_bcols, 0.5, rng)
+        dense_mask = np.kron(blocks, np.ones((br, bc), dtype=bool))
+        bsr = BSRMatrix.from_dense_mask(dense_mask, (br, bc))
+        mapping = mapping_from_bsr(bsr, causal=False)
+
+        heads = HeadConfig(2, 2, 16)
+        n_q, n_kv = n_brows * br, n_bcols * bc
+        q = rng.standard_normal((n_q, 2, 16))
+        kp = rng.standard_normal((n_kv, 2, 16))
+        vp = rng.standard_normal((n_kv, 2, 16))
+        w = BatchAttentionWrapper(VANILLA, heads, WorkspaceBuffer(1 << 26), avg_qo_len=br)
+        w.plan(mapping)
+        out, _, _ = w.run(q, kp, vp)
+
+        kr = round_to_storage(kp, StorageDType.FP16).astype(np.float64)
+        vr = round_to_storage(vp, StorageDType.FP16).astype(np.float64)
+        sm = 1 / np.sqrt(16)
+        for h in range(2):
+            s = (q[:, h] @ kr[:, h].T) * sm
+            s = np.where(dense_mask, s, -np.inf)
+            m = s.max(axis=1, keepdims=True)
+            p = np.exp(s - m)
+            ref = (p / p.sum(axis=1, keepdims=True)) @ vr[:, h]
+            np.testing.assert_allclose(out[:, h, :], ref, atol=1e-6)
+
+    def test_structure_skips_zero_blocks_traffic(self):
+        import numpy as np
+        from repro import BatchAttentionWrapper, WorkspaceBuffer
+        from repro.core import HeadConfig, VANILLA
+        from repro.sparse import BSRMatrix, mapping_from_bsr
+
+        rng = np.random.default_rng(6)
+        br, bc, n_brows, n_bcols = 4, 16, 8, 32
+        sparse_blocks = self._block_mask(n_brows, n_bcols, 0.25, rng)
+        full_blocks = np.ones_like(sparse_blocks)
+        heads = HeadConfig(2, 2, 16)
+        traffic = {}
+        for name, blocks in (("sparse", sparse_blocks), ("full", full_blocks)):
+            mask = np.kron(blocks, np.ones((br, bc), dtype=bool))
+            bsr = BSRMatrix.from_dense_mask(mask, (br, bc))
+            mapping = mapping_from_bsr(bsr, causal=False)
+            w = BatchAttentionWrapper(VANILLA, heads, WorkspaceBuffer(1 << 27),
+                                      avg_qo_len=br)
+            w.plan(mapping)
+            _, _, rep = w.run(None, compute=False)
+            traffic[name] = rep.total_bytes
+        assert traffic["sparse"] < 0.5 * traffic["full"]

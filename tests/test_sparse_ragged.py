@@ -1,0 +1,81 @@
+"""Tests for RaggedTensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import RaggedTensor
+
+
+class TestConstruction:
+    def test_from_rows_round_trip(self, rng):
+        rows = [rng.standard_normal((n, 3)) for n in (2, 0, 5, 1)]
+        rt = RaggedTensor.from_rows(rows)
+        assert rt.num_rows == 4
+        assert rt.total == 8
+        for got, want in zip(rt.rows(), rows):
+            assert np.array_equal(got, want)
+
+    def test_from_lengths(self):
+        data = np.arange(10)
+        rt = RaggedTensor.from_lengths(data, [3, 0, 7])
+        assert np.array_equal(rt.row(0), [0, 1, 2])
+        assert rt.row(1).size == 0
+        assert np.array_equal(rt.row(2), np.arange(3, 10))
+
+    def test_row_lengths(self):
+        rt = RaggedTensor.from_lengths(np.arange(6), [1, 2, 3])
+        assert np.array_equal(rt.row_lengths, [1, 2, 3])
+
+    def test_negative_index(self):
+        rt = RaggedTensor.from_lengths(np.arange(6), [2, 4])
+        assert np.array_equal(rt.row(-1), [2, 3, 4, 5])
+
+    def test_iter_matches_rows(self):
+        rt = RaggedTensor.from_lengths(np.arange(6), [2, 4])
+        assert [r.tolist() for r in rt] == [r.tolist() for r in rt.rows()]
+
+    def test_len(self):
+        rt = RaggedTensor.from_lengths(np.arange(4), [4])
+        assert len(rt) == 1
+
+
+class TestValidation:
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(ValueError, match="indptr\\[0\\]"):
+            RaggedTensor(np.arange(4), np.array([1, 4]))
+
+    def test_indptr_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            RaggedTensor(np.arange(4), np.array([0, 3, 2, 4]))
+
+    def test_indptr_must_cover_data(self):
+        with pytest.raises(ValueError, match="indptr\\[-1\\]"):
+            RaggedTensor(np.arange(4), np.array([0, 2]))
+
+    def test_out_of_range_row(self):
+        rt = RaggedTensor.from_lengths(np.arange(4), [4])
+        with pytest.raises(IndexError):
+            rt.row(1)
+
+    def test_empty_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            RaggedTensor(np.arange(0), np.array([]))
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 7), min_size=0, max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_pack_unpack_round_trip(self, lengths):
+        rows = [np.arange(n) + 100 * i for i, n in enumerate(lengths)]
+        rt = RaggedTensor.from_rows(rows)
+        assert rt.num_rows == len(lengths)
+        assert rt.total == sum(lengths)
+        for got, want in zip(rt.rows(), rows):
+            assert np.array_equal(got, want)
+
+    def test_views_not_copies(self):
+        rt = RaggedTensor.from_lengths(np.arange(6.0), [3, 3])
+        rt.row(0)[0] = 99.0
+        assert rt.data[0] == 99.0

@@ -1,0 +1,130 @@
+"""Tests for the calibrated fp8 KV-cache path (paper Appendix F)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_paged_mapping
+from repro import BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, reference_attention
+from repro.utils.dtypes import FP8_E4M3_MAX, StorageDType
+from repro.variants.fp8 import (
+    calibrate_kv_scales,
+    make_fp8_variant,
+    quantize_kv_pool,
+)
+
+HEADS = HeadConfig(4, 2, 16)
+
+
+class TestCalibration:
+    def test_scales_cover_amax(self, rng):
+        k = rng.standard_normal((50, 2, 16)) * 100.0
+        v = rng.standard_normal((50, 2, 16))
+        ks, vs = calibrate_kv_scales(k, v)
+        assert np.all(np.abs(k / ks[None, :, None]) <= FP8_E4M3_MAX)
+        assert np.all(np.abs(v / vs[None, :, None]) <= FP8_E4M3_MAX)
+
+    def test_per_head_scales(self, rng):
+        k = rng.standard_normal((50, 2, 16))
+        k[:, 1] *= 1000.0
+        ks, _ = calibrate_kv_scales(k, k)
+        assert ks[1] > 100 * ks[0]
+
+    def test_headroom_validation(self, rng):
+        k = rng.standard_normal((4, 2, 16))
+        with pytest.raises(ValueError):
+            calibrate_kv_scales(k, k, headroom=0.0)
+
+    def test_quantized_pool_on_fp8_grid(self, rng):
+        from repro.utils.dtypes import quantize_fp8
+
+        k = rng.standard_normal((20, 2, 16)) * 10
+        ks, vs = calibrate_kv_scales(k, k)
+        kq, _ = quantize_kv_pool(k, k, ks, vs)
+        np.testing.assert_allclose(quantize_fp8(kq), kq)
+
+
+class TestFP8Attention:
+    def _run(self, variant, q, k_pool, v_pool, kv_len):
+        mapping, _ = make_paged_mapping([kv_len], [1], 16)
+        w = BatchAttentionWrapper(
+            variant, HEADS, WorkspaceBuffer(1 << 26), avg_qo_len=1,
+            kv_dtype=StorageDType.FP8_E4M3,
+        )
+        w.plan(mapping)
+        out, _, _ = w.run(q, k_pool, v_pool)
+        return out
+
+    def test_calibrated_fp8_close_to_fp32(self, rng):
+        n = 64
+        k = rng.standard_normal((n, 2, 16))
+        v = rng.standard_normal((n, 2, 16))
+        q = rng.standard_normal((1, 4, 16))
+        ks, vs = calibrate_kv_scales(k, v)
+        kq, vq = quantize_kv_pool(k, v, ks, vs)
+        out = self._run(make_fp8_variant(ks, vs), q, kq, vq, n)
+        ref = reference_attention(q, k, v, causal=True)
+        assert np.abs(out - ref).max() < 0.15  # e4m3 has a 3-bit mantissa
+
+    def test_calibration_rescues_large_magnitudes(self, rng):
+        """Uncalibrated fp8 saturates at ±448; calibrated scales recover."""
+        n = 64
+        scale_up = 5000.0
+        k = rng.standard_normal((n, 2, 16)) * scale_up
+        v = rng.standard_normal((n, 2, 16)) * scale_up
+        q = rng.standard_normal((1, 4, 16)) / scale_up
+        ref = reference_attention(q, k, v, causal=True)
+
+        # Raw fp8: values clip at ±448 and the output collapses.
+        from repro.core import VANILLA
+
+        out_raw = self._run(VANILLA, q, k, v, n)
+        raw_err = np.abs(out_raw - ref).max()
+
+        ks, vs = calibrate_kv_scales(k, v)
+        kq, vq = quantize_kv_pool(k, v, ks, vs)
+        out_cal = self._run(make_fp8_variant(ks, vs), q, kq, vq, n)
+        cal_err = np.abs(out_cal - ref).max()
+        assert cal_err < 0.05 * raw_err
+
+    def test_compose_with_base_variant(self, rng):
+        from repro.variants import make_logits_softcap
+
+        n = 48
+        k = rng.standard_normal((n, 2, 16))
+        v = rng.standard_normal((n, 2, 16))
+        q = rng.standard_normal((1, 4, 16))
+        ks, vs = calibrate_kv_scales(k, v)
+        kq, vq = quantize_kv_pool(k, v, ks, vs)
+        variant = make_fp8_variant(ks, vs, base=make_logits_softcap(5.0))
+        out = self._run(variant, q, kq, vq, n)
+        # Reference: softcap on fp32 inputs.
+        sm = 1 / np.sqrt(16)
+        ref = np.zeros_like(q)
+        for h in range(4):
+            s = 5 * np.tanh((q[0, h] @ k[:, h // 2].T) * sm / 5)
+            p = np.exp(s - s.max())
+            ref[0, h] = (p / p.sum()) @ v[:, h // 2]
+        assert np.abs(out - ref).max() < 0.15
+
+    def test_base_with_kv_transform_rejected(self):
+        from repro.variants import FUSED_ROPE
+
+        with pytest.raises(ValueError, match="key/value"):
+            make_fp8_variant(np.ones(2), np.ones(2), base=FUSED_ROPE)
+
+    def test_fp8_halves_simulated_traffic(self, rng):
+        mapping, _ = make_paged_mapping([4096], [1], 16)
+        reports = {}
+        for dtype in (StorageDType.FP16, StorageDType.FP8_E4M3):
+            from repro.core import VANILLA
+
+            w = BatchAttentionWrapper(
+                VANILLA, HEADS, WorkspaceBuffer(1 << 27), avg_qo_len=1,
+                kv_dtype=dtype,
+            )
+            w.plan(mapping)
+            _, _, rep = w.run(None, compute=False)
+            reports[dtype] = rep.total_bytes
+        ratio = reports[StorageDType.FP8_E4M3] / reports[StorageDType.FP16]
+        assert 0.45 < ratio < 0.65

@@ -1,0 +1,81 @@
+"""Tests for fused normalization / projection variants (§3.2.3)."""
+
+import numpy as np
+import pytest
+
+from conftest import make_paged_mapping
+from repro import BatchAttentionWrapper, WorkspaceBuffer
+from repro.core import HeadConfig, reference_attention
+from repro.utils.dtypes import StorageDType
+from repro.variants import make_fused_kv_projection, make_qk_norm
+
+HEADS = HeadConfig(4, 2, 16)
+
+
+def run_wrapper(variant, q, k_pool, v_pool, kv_len, qo_len, kv_dtype=StorageDType.FP32):
+    mapping, _ = make_paged_mapping([kv_len], [qo_len], 8)
+    w = BatchAttentionWrapper(
+        variant, HEADS, WorkspaceBuffer(1 << 26), avg_qo_len=qo_len, kv_dtype=kv_dtype
+    )
+    w.plan(mapping)
+    out, _, _ = w.run(q, k_pool, v_pool)
+    return out
+
+
+class TestQKNorm:
+    def test_matches_explicit_normalization(self, rng):
+        n = 40
+        q = rng.standard_normal((n, 4, 16))
+        kp = rng.standard_normal((n, 2, 16)).astype(np.float32)
+        vp = rng.standard_normal((n, 2, 16)).astype(np.float32)
+        out = run_wrapper(make_qk_norm(), q, kp, vp, n, n)
+
+        eps = 1e-6
+        qn = q / (np.linalg.norm(q, axis=-1, keepdims=True) + eps)
+        kn = kp / (np.linalg.norm(kp, axis=-1, keepdims=True) + eps)
+        ref = reference_attention(qn, kn, vp, causal=True)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            make_qk_norm(eps=0.0)
+
+
+class TestFusedKVProjection:
+    def test_matches_explicit_up_projection(self, rng):
+        """Latent cache + in-kernel up-projection == dense cache attention."""
+        n, d_latent = 30, 8
+        w_k = rng.standard_normal((2, d_latent, 16))
+        w_v = rng.standard_normal((2, d_latent, 16))
+        latent_k = rng.standard_normal((n, 2, d_latent)).astype(np.float32)
+        latent_v = rng.standard_normal((n, 2, d_latent)).astype(np.float32)
+        q = rng.standard_normal((1, 4, 16))
+
+        variant = make_fused_kv_projection(w_k, w_v)
+        out = run_wrapper(variant, q, latent_k, latent_v, n, 1)
+
+        # Explicit pipeline: up-project the cache, then vanilla attention.
+        k_full = np.einsum("nhl,hld->nhd", latent_k.astype(np.float64), w_k)
+        v_full = np.einsum("nhl,hld->nhd", latent_v.astype(np.float64), w_v)
+        ref = reference_attention(q, k_full, v_full, causal=True)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_prefill_with_chunking(self, rng):
+        n, d_latent = 2200, 8
+        w_k = rng.standard_normal((2, d_latent, 16))
+        w_v = rng.standard_normal((2, d_latent, 16))
+        latent_k = rng.standard_normal((n, 2, d_latent)).astype(np.float32)
+        latent_v = rng.standard_normal((n, 2, d_latent)).astype(np.float32)
+        q = rng.standard_normal((1, 4, 16))
+        variant = make_fused_kv_projection(w_k, w_v)
+        out = run_wrapper(variant, q, latent_k, latent_v, n, 1)
+        k_full = np.einsum("nhl,hld->nhd", latent_k.astype(np.float64), w_k)
+        v_full = np.einsum("nhl,hld->nhd", latent_v.astype(np.float64), w_v)
+        ref = reference_attention(q, k_full, v_full, causal=True)
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            make_fused_kv_projection(np.zeros((2, 8)), np.zeros((2, 8)))
+        with pytest.raises(ValueError):
+            make_fused_kv_projection(np.zeros((2, 8, 16)), np.zeros((2, 4, 16)))
