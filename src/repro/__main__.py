@@ -96,13 +96,34 @@ def _cmd_serve(args) -> int:
     print(f"{args.requests} ShareGPT-like requests at {args.rate} req/s, {model.name} on H100")
     for make in (FlashInferBackend, TritonBackend, TRTLLMBackend):
         backend = make(heads, H100_80G)
-        engine = ServingEngine(model, backend, H100_80G, EngineConfig(max_running=256))
+        # The FlashInfer run (the system under test) carries the tracer.
+        tracer = None
+        if args.trace and make is FlashInferBackend:
+            from repro.obs import StepTracer
+
+            tracer = StepTracer()
+        engine = ServingEngine(
+            model, backend, H100_80G, EngineConfig(max_running=256), tracer=tracer
+        )
         s = engine.run(requests).summary()
         print(
             f"  {backend.name:>10s}: ITL {s['median_itl'] * 1e3:6.2f} ms, "
             f"TTFT {s['median_ttft'] * 1e3:6.1f} ms, "
             f"P99 TTFT {s['p99_ttft'] * 1e3:5.0f} ms"
         )
+        if tracer is not None:
+            from repro.obs import summary_table, write_chrome_trace, write_csv
+
+            write_chrome_trace(
+                args.trace, tracer.events,
+                metadata={"model": model.name, "backend": backend.name,
+                          "requests": args.requests, "rate": args.rate},
+            )
+            print(f"\n  step trace → {args.trace} (load in chrome://tracing or Perfetto)")
+            if args.trace_csv:
+                write_csv(args.trace_csv, tracer.events)
+                print(f"  step log   → {args.trace_csv}")
+            print("\n" + summary_table(tracer) + "\n")
     return 0
 
 
@@ -144,6 +165,15 @@ def main(argv=None) -> int:
     serve.add_argument("--requests", type=int, default=40)
     serve.add_argument("--rate", type=float, default=60.0)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--trace", metavar="OUT.json", default=None,
+        help="record a step-level trace of the FlashInfer run and write "
+        "Chrome trace_event JSON (chrome://tracing / Perfetto)",
+    )
+    serve.add_argument(
+        "--trace-csv", metavar="OUT.csv", default=None, dest="trace_csv",
+        help="also write the per-step CSV log (requires --trace)",
+    )
 
     sub.add_parser("figures", help="how to regenerate the paper figures")
 

@@ -4,6 +4,7 @@ from repro.api.wrappers import (
     BatchDecodeWithPagedKVCacheWrapper,
     BatchPrefillWithPagedKVCacheWrapper,
     BatchPrefillWithRaggedKVCacheWrapper,
+    clear_workspace_cache,
     merge_state,
     merge_states,
     single_decode_with_kv_cache,
@@ -14,6 +15,7 @@ __all__ = [
     "BatchDecodeWithPagedKVCacheWrapper",
     "BatchPrefillWithPagedKVCacheWrapper",
     "BatchPrefillWithRaggedKVCacheWrapper",
+    "clear_workspace_cache",
     "merge_state",
     "merge_states",
     "single_decode_with_kv_cache",

@@ -11,12 +11,22 @@ directly.
 
 All wrappers share the plan/run discipline of paper §3.4 (Listing 1):
 construct once with a workspace buffer, ``plan`` per generation step on
-the CPU, ``run`` any number of times per plan.
+the CPU, ``run`` any number of times per plan.  The two paged wrappers
+share one plan path (:func:`_paged_kv_mapping`): the KV-pool page count is
+inferred from the page-table indices at ``plan`` time and validated
+against the K/V pools passed to ``run`` — the old explicit
+``pool_num_pages`` argument is still accepted but deprecated.
+
+Every wrapper accepts an optional :class:`repro.obs.StepTracer`; when
+attached, each ``run`` records a :class:`repro.obs.KernelRecord` so
+standalone wrapper calls are profiled with the same schema as engine
+steps.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import warnings
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -27,17 +37,103 @@ from repro.core.wrapper import BatchAttentionWrapper
 from repro.gpu.executor import SimReport
 from repro.gpu.spec import A100_40G, GPUSpec
 from repro.gpu.workspace import WorkspaceBuffer
+from repro.obs.events import KernelRecord
+from repro.obs.tracer import StepTracer
 from repro.sparse.layout import AttentionMapping, BlockSparseKV
 from repro.utils.dtypes import StorageDType
 
 
-class BatchDecodeWithPagedKVCacheWrapper:
+def _paged_kv_mapping(
+    page_size: int,
+    qo_indptr: np.ndarray,
+    kv_indptr: np.ndarray,
+    kv_indices: np.ndarray,
+    last_page_len: np.ndarray,
+    pool_num_pages: Optional[int],
+    causal: bool,
+) -> AttentionMapping:
+    """Shared plan path of the paged wrappers: lower the FlashInfer page-table
+    triple ``(kv_indptr, kv_indices, last_page_len)`` to an
+    :class:`AttentionMapping`.
+
+    ``pool_num_pages`` may be ``None`` — the pool bound is then inferred
+    from the largest referenced page index (the K/V pools handed to
+    ``run()`` are validated against it).
+    """
+    kv_indptr = np.asarray(kv_indptr, dtype=np.int64)
+    kv_indices = np.asarray(kv_indices, dtype=np.int64)
+    last_page_len = np.asarray(last_page_len, dtype=np.int64)
+    pages_per_seq = np.diff(kv_indptr)
+    kv_lens = np.where(
+        pages_per_seq > 0,
+        (pages_per_seq - 1) * page_size + last_page_len,
+        0,
+    )
+    if pool_num_pages is None:
+        pool_num_pages = int(kv_indices.max()) + 1 if kv_indices.size else 1
+    kv = BlockSparseKV(page_size, pool_num_pages, kv_indptr, kv_indices, kv_lens)
+    return AttentionMapping(
+        np.asarray(qo_indptr, dtype=np.int64), kv, causal=causal
+    )
+
+
+def _warn_pool_num_pages(cls_name: str) -> None:
+    warnings.warn(
+        f"{cls_name}.plan(..., pool_num_pages=...) is deprecated: the pool "
+        f"size is now inferred from the page-table indices and validated "
+        f"against the K/V pools passed to run(); drop the argument.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class _WrapperBase:
+    """Shared plan/run state machine for the public wrappers."""
+
+    #: Set by subclasses; used for error messages and kernel records.
+    _phase = "batch"
+
+    def __init__(self, tracer: Optional[StepTracer] = None):
+        self.tracer = tracer
+        self._planned = False
+        self._min_pool_pages: Optional[int] = None
+
+    def _require_plan(self) -> None:
+        if not self._planned:
+            raise RuntimeError(
+                f"{type(self).__name__}.run() called before plan(); call "
+                f"{type(self).__name__}.plan(...) with the current page "
+                f"table/indptrs first (§3.4 plan/run discipline)"
+            )
+
+    def _check_pool(self, pool: Optional[np.ndarray], page_size: int) -> None:
+        if pool is None or self._min_pool_pages is None:
+            return
+        have = int(np.shape(pool)[0]) // page_size
+        if have < self._min_pool_pages:
+            raise ValueError(
+                f"{type(self).__name__}: K/V pool holds {have} pages of "
+                f"{page_size} slots but the planned page table references "
+                f"page {self._min_pool_pages - 1}; pass the pool the page "
+                f"table was built from"
+            )
+
+    def _record(self, report: Optional[SimReport]) -> None:
+        if self.tracer is not None and report is not None:
+            self.tracer.record_kernel(
+                KernelRecord.from_report(type(self).__name__, self._phase, report)
+            )
+
+
+class BatchDecodeWithPagedKVCacheWrapper(_WrapperBase):
     """Batch decode attention over a paged KV cache.
 
     Mirrors ``flashinfer.decode.BatchDecodeWithPagedKVCacheWrapper``:
     ``plan`` takes the page-table triple ``(kv_indptr, kv_indices,
     last_page_len)``; ``run`` takes the query tensor and the K/V page pools.
     """
+
+    _phase = "decode"
 
     def __init__(
         self,
@@ -50,7 +146,9 @@ class BatchDecodeWithPagedKVCacheWrapper:
         variant: AttentionVariant = VANILLA,
         kv_dtype: StorageDType = StorageDType.FP16,
         max_batch_size: Optional[int] = None,
+        tracer: Optional[StepTracer] = None,
     ):
+        super().__init__(tracer)
         self.page_size = page_size
         self.heads = HeadConfig(num_qo_heads, num_kv_heads, head_dim)
         self._inner = BatchAttentionWrapper(
@@ -59,33 +157,28 @@ class BatchDecodeWithPagedKVCacheWrapper:
             max_batch_size=max_batch_size,
             max_total_qo=max_batch_size,
         )
-        self._pool_blocks: Optional[int] = None
 
     def plan(
         self,
         kv_indptr: np.ndarray,
         kv_indices: np.ndarray,
         last_page_len: np.ndarray,
-        pool_num_pages: int,
+        pool_num_pages: Optional[int] = None,
         params: Optional[dict] = None,
         sm_scale: Optional[float] = None,
     ) -> None:
         """Stage the decode schedule for the current page table."""
-        kv_indptr = np.asarray(kv_indptr, dtype=np.int64)
-        last_page_len = np.asarray(last_page_len, dtype=np.int64)
-        batch = kv_indptr.size - 1
-        pages_per_seq = np.diff(kv_indptr)
-        kv_lens = np.where(
-            pages_per_seq > 0,
-            (pages_per_seq - 1) * self.page_size + last_page_len,
-            0,
+        if pool_num_pages is not None:
+            _warn_pool_num_pages(type(self).__name__)
+        kv_indices = np.asarray(kv_indices, dtype=np.int64)
+        batch = np.asarray(kv_indptr).size - 1
+        mapping = _paged_kv_mapping(
+            self.page_size, np.arange(batch + 1, dtype=np.int64),
+            kv_indptr, kv_indices, last_page_len, pool_num_pages, causal=True,
         )
-        kv = BlockSparseKV(self.page_size, pool_num_pages, kv_indptr,
-                           np.asarray(kv_indices, dtype=np.int64), kv_lens)
-        mapping = AttentionMapping(
-            np.arange(batch + 1, dtype=np.int64), kv, causal=True
-        )
+        self._min_pool_pages = int(kv_indices.max()) + 1 if kv_indices.size else 0
         self._inner.plan(mapping, params=params, sm_scale=sm_scale)
+        self._planned = True
 
     def run(
         self,
@@ -95,7 +188,10 @@ class BatchDecodeWithPagedKVCacheWrapper:
         return_lse: bool = False,
     ):
         """Compute decode attention: ``q`` is ``(batch, H_qo, D)``."""
-        out, lse, _ = self._inner.run(q, k_pool, v_pool)
+        self._require_plan()
+        self._check_pool(k_pool, self.page_size)
+        out, lse, report = self._inner.run(q, k_pool, v_pool)
+        self._record(report)
         return (out, lse) if return_lse else out
 
     @property
@@ -103,12 +199,14 @@ class BatchDecodeWithPagedKVCacheWrapper:
         return self._inner.last_report
 
 
-class BatchPrefillWithPagedKVCacheWrapper:
+class BatchPrefillWithPagedKVCacheWrapper(_WrapperBase):
     """Batch (incremental) prefill attention over a paged KV cache.
 
     Mirrors ``flashinfer.prefill.BatchPrefillWithPagedKVCacheWrapper``:
     queries are packed per ``qo_indptr``; KV comes from the page pool.
     """
+
+    _phase = "prefill"
 
     def __init__(
         self,
@@ -123,7 +221,9 @@ class BatchPrefillWithPagedKVCacheWrapper:
         avg_qo_len: float = 512.0,
         max_batch_size: Optional[int] = None,
         max_total_qo: Optional[int] = None,
+        tracer: Optional[StepTracer] = None,
     ):
+        super().__init__(tracer)
         self.page_size = page_size
         self.heads = HeadConfig(num_qo_heads, num_kv_heads, head_dim)
         self._inner = BatchAttentionWrapper(
@@ -138,28 +238,27 @@ class BatchPrefillWithPagedKVCacheWrapper:
         kv_indptr: np.ndarray,
         kv_indices: np.ndarray,
         last_page_len: np.ndarray,
-        pool_num_pages: int,
+        pool_num_pages: Optional[int] = None,
         causal: bool = True,
         params: Optional[dict] = None,
         sm_scale: Optional[float] = None,
     ) -> None:
-        kv_indptr = np.asarray(kv_indptr, dtype=np.int64)
-        last_page_len = np.asarray(last_page_len, dtype=np.int64)
-        pages_per_seq = np.diff(kv_indptr)
-        kv_lens = np.where(
-            pages_per_seq > 0,
-            (pages_per_seq - 1) * self.page_size + last_page_len,
-            0,
+        if pool_num_pages is not None:
+            _warn_pool_num_pages(type(self).__name__)
+        kv_indices = np.asarray(kv_indices, dtype=np.int64)
+        mapping = _paged_kv_mapping(
+            self.page_size, qo_indptr, kv_indptr, kv_indices, last_page_len,
+            pool_num_pages, causal=causal,
         )
-        kv = BlockSparseKV(self.page_size, pool_num_pages, kv_indptr,
-                           np.asarray(kv_indices, dtype=np.int64), kv_lens)
-        mapping = AttentionMapping(
-            np.asarray(qo_indptr, dtype=np.int64), kv, causal=causal
-        )
+        self._min_pool_pages = int(kv_indices.max()) + 1 if kv_indices.size else 0
         self._inner.plan(mapping, params=params, sm_scale=sm_scale)
+        self._planned = True
 
     def run(self, q, k_pool, v_pool, return_lse: bool = False):
-        out, lse, _ = self._inner.run(q, k_pool, v_pool)
+        self._require_plan()
+        self._check_pool(k_pool, self.page_size)
+        out, lse, report = self._inner.run(q, k_pool, v_pool)
+        self._record(report)
         return (out, lse) if return_lse else out
 
     @property
@@ -167,7 +266,7 @@ class BatchPrefillWithPagedKVCacheWrapper:
         return self._inner.last_report
 
 
-class BatchPrefillWithRaggedKVCacheWrapper:
+class BatchPrefillWithRaggedKVCacheWrapper(_WrapperBase):
     """Batch prefill over *contiguous* (ragged) K/V tensors.
 
     Mirrors ``flashinfer.prefill.BatchPrefillWithRaggedKVCacheWrapper`` —
@@ -175,6 +274,8 @@ class BatchPrefillWithRaggedKVCacheWrapper:
     tensors sharing ``kv_indptr`` with no page indirection, so loads are
     contiguous (TMA-eligible on Hopper).
     """
+
+    _phase = "prefill"
 
     def __init__(
         self,
@@ -188,7 +289,9 @@ class BatchPrefillWithRaggedKVCacheWrapper:
         avg_qo_len: float = 512.0,
         max_batch_size: Optional[int] = None,
         max_total_qo: Optional[int] = None,
+        tracer: Optional[StepTracer] = None,
     ):
+        super().__init__(tracer)
         self.heads = HeadConfig(num_qo_heads, num_kv_heads, head_dim)
         self._inner = BatchAttentionWrapper(
             variant, self.heads, workspace, gpu,
@@ -216,10 +319,15 @@ class BatchPrefillWithRaggedKVCacheWrapper:
         mapping = AttentionMapping(
             np.asarray(qo_indptr, dtype=np.int64), kv, causal=causal
         )
+        self._min_pool_pages = total_kv
         self._inner.plan(mapping, params=params, sm_scale=sm_scale)
+        self._planned = True
 
     def run(self, q, k, v, return_lse: bool = False):
-        out, lse, _ = self._inner.run(q, k, v)
+        self._require_plan()
+        self._check_pool(k, 1)
+        out, lse, report = self._inner.run(q, k, v)
+        self._record(report)
         return (out, lse) if return_lse else out
 
     @property
@@ -228,6 +336,68 @@ class BatchPrefillWithRaggedKVCacheWrapper:
 
 
 # -- single-request helpers (flashinfer.single_* equivalents) -----------------
+
+#: Module-level workspace reuse for the single-request helpers, keyed by
+#: power-of-two size class.  The old behaviour allocated a fresh ≥64 MB
+#: buffer on *every* call; steady-state single-request traffic now touches
+#: one cached buffer per size class.
+_WORKSPACE_CACHE: Dict[int, WorkspaceBuffer] = {}
+#: Cached single-prefill wrappers keyed by (variant, gpu, geometry, bounds);
+#: wrapper workspace sections are append-only, so reusing the wrapper (not
+#: just the buffer) is what makes repeat calls allocation-free.
+_SINGLE_WRAPPER_CACHE: Dict[tuple, BatchPrefillWithRaggedKVCacheWrapper] = {}
+
+
+def _workspace_size_class(nbytes: int) -> int:
+    return 1 << max(26, int(nbytes - 1).bit_length())  # ≥ 64 MB
+
+
+def _cached_workspace(nbytes: int) -> WorkspaceBuffer:
+    size_class = _workspace_size_class(nbytes)
+    ws = _WORKSPACE_CACHE.get(size_class)
+    if ws is None:
+        ws = WorkspaceBuffer(size_class)
+        _WORKSPACE_CACHE[size_class] = ws
+    return ws
+
+
+def clear_workspace_cache() -> None:
+    """Drop the cached single-request workspaces/wrappers (tests, memory)."""
+    _WORKSPACE_CACHE.clear()
+    _SINGLE_WRAPPER_CACHE.clear()
+
+
+def _single_prefill_wrapper(
+    n_q: int, n_kv: int, num_qo_heads: int, num_kv_heads: int, head_dim: int,
+    variant: AttentionVariant, gpu: GPUSpec,
+) -> BatchPrefillWithRaggedKVCacheWrapper:
+    ws = _cached_workspace(max(64 * 1024 * 1024, n_kv * 1024))
+    # Round the query bound up to a power of two so all calls in the same
+    # band share one wrapper (and its fixed-offset workspace sections).
+    qo_cap = 1 << max(10, int(max(n_q, 1) - 1).bit_length())
+    key = (
+        variant, gpu, num_qo_heads, num_kv_heads, head_dim,
+        ws.buffer_id, qo_cap,
+    )
+    w = _SINGLE_WRAPPER_CACHE.get(key)
+    if w is None:
+        try:
+            w = BatchPrefillWithRaggedKVCacheWrapper(
+                ws, num_qo_heads, num_kv_heads, head_dim, gpu=gpu,
+                variant=variant, avg_qo_len=float(qo_cap),
+                max_batch_size=1, max_total_qo=qo_cap,
+            )
+        except MemoryError:
+            # Cached buffer exhausted by other geometries: fall back to a
+            # dedicated (uncached) workspace for this wrapper.
+            w = BatchPrefillWithRaggedKVCacheWrapper(
+                WorkspaceBuffer(_workspace_size_class(max(64 * 1024 * 1024, n_kv * 1024))),
+                num_qo_heads, num_kv_heads, head_dim, gpu=gpu,
+                variant=variant, avg_qo_len=float(qo_cap),
+                max_batch_size=1, max_total_qo=qo_cap,
+            )
+        _SINGLE_WRAPPER_CACHE[key] = w
+    return w
 
 
 def single_prefill_with_kv_cache(
@@ -239,17 +409,20 @@ def single_prefill_with_kv_cache(
     variant: AttentionVariant = VANILLA,
     gpu: GPUSpec = A100_40G,
     params: Optional[dict] = None,
+    tracer: Optional[StepTracer] = None,
 ) -> np.ndarray:
     """One-shot prefill attention for a single request (no paging)."""
     n_q, n_kv = q.shape[0], k.shape[0]
-    ws = WorkspaceBuffer(max(64 * 1024 * 1024, n_kv * 1024))
-    w = BatchPrefillWithRaggedKVCacheWrapper(
-        ws, q.shape[1], k.shape[1], q.shape[2], gpu=gpu, variant=variant,
-        avg_qo_len=float(n_q),
+    w = _single_prefill_wrapper(
+        n_q, n_kv, q.shape[1], k.shape[1], q.shape[2], variant, gpu
     )
+    w.tracer = tracer
     w.plan(np.array([0, n_q]), np.array([0, n_kv]), causal=causal,
            params=params, sm_scale=sm_scale)
-    return w.run(q, k, v)
+    try:
+        return w.run(q, k, v)
+    finally:
+        w.tracer = None
 
 
 def single_decode_with_kv_cache(
@@ -260,11 +433,12 @@ def single_decode_with_kv_cache(
     variant: AttentionVariant = VANILLA,
     gpu: GPUSpec = A100_40G,
     params: Optional[dict] = None,
+    tracer: Optional[StepTracer] = None,
 ) -> np.ndarray:
     """One-shot decode attention: ``q`` is ``(H_qo, D)``, K/V ``(n, H_kv, D)``."""
     out = single_prefill_with_kv_cache(
         q[None], k, v, causal=True, sm_scale=sm_scale, variant=variant,
-        gpu=gpu, params=params,
+        gpu=gpu, params=params, tracer=tracer,
     )
     return out[0]
 

@@ -87,6 +87,40 @@ def format_cta_load(report: SimReport, buckets: int = 16) -> str:
     return "\n".join(lines)
 
 
+def format_step_events(events, max_rows: int = 20) -> str:
+    """Tabular view of a traced serving run's :class:`repro.obs.StepEvent`
+    list: per-step kind, duration, tokens, dominant component, KV pressure."""
+    header = (
+        "  step  kind     dur(ms)  pf_tok  dc_tok  strm   attn%  gemm%  "
+        "kv_used  pre"
+    )
+    rows = [header]
+    shown = 0
+    for ev in events:
+        if shown >= max_rows:
+            break
+        if ev.kind == "idle":
+            rows.append(
+                f"  {ev.index:4d}  {'idle':<7s} {ev.duration * 1e3:7.3f}"
+                + " " * 45
+            )
+            shown += 1
+            continue
+        dur = ev.duration or 1.0
+        rows.append(
+            f"  {ev.index:4d}  {ev.kind:<7s} {ev.duration * 1e3:7.3f} "
+            f"{ev.num_prefill_tokens:7d} {ev.num_decode_tokens:7d} "
+            f"{ev.num_streams:5d} {ev.component('attention') / dur:6.1%} "
+            f"{ev.component('gemm') / dur:6.1%} {ev.kv_used_pages:8d} "
+            f"{ev.preemptions:4d}"
+        )
+        shown += 1
+    total = len(events) if hasattr(events, "__len__") else shown
+    if shown < total:
+        rows.append(f"  ... ({total - shown} more)")
+    return "\n".join(rows)
+
+
 def format_plan(plan: SchedulePlan, max_rows: int = 12) -> str:
     """Tabular view of a schedule plan: chunking, splits, merge fan-in."""
     items = [w for q in plan.cta_queues for w in q]

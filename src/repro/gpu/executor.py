@@ -86,6 +86,19 @@ class SimReport:
             per_cta_time=[],
         )
 
+    def to_dict(self) -> dict:
+        """Flat scalar view for tracing/export (``repro.obs``); the
+        per-CTA times are summarized by :attr:`balance` rather than
+        serialized."""
+        return {
+            "makespan": self.makespan,
+            "total_flops": self.total_flops,
+            "total_bytes": self.total_bytes,
+            "num_tiles": self.num_tiles,
+            "num_ctas": self.num_ctas,
+            "balance": self.balance,
+        }
+
 
 class PersistentKernelExecutor:
     """Executes simulated work under a cost model on a :class:`GPUSpec`."""

@@ -1,0 +1,44 @@
+"""Observability: step-level tracing and profiling for the serving stack.
+
+Usage::
+
+    from repro.obs import StepTracer, write_chrome_trace
+
+    tracer = StepTracer()
+    engine = ServingEngine(model, backend, gpu, cfg, tracer=tracer)
+    metrics = engine.run(requests)
+    write_chrome_trace("trace.json", tracer.events)   # chrome://tracing
+
+See ``docs/ARCHITECTURE.md`` ("Observability") for the event schema.
+"""
+
+from repro.obs.events import (
+    STEP_COMPONENTS,
+    STEP_KINDS,
+    KernelRecord,
+    StepEvent,
+    validate_event,
+)
+from repro.obs.export import (
+    summary_table,
+    to_chrome_trace,
+    to_csv,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.obs.tracer import RollingHistogram, StepTracer
+
+__all__ = [
+    "STEP_COMPONENTS",
+    "STEP_KINDS",
+    "KernelRecord",
+    "StepEvent",
+    "validate_event",
+    "RollingHistogram",
+    "StepTracer",
+    "summary_table",
+    "to_chrome_trace",
+    "to_csv",
+    "write_chrome_trace",
+    "write_csv",
+]

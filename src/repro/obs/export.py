@@ -1,0 +1,194 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, CSV step log, text summary.
+
+The Chrome trace loads directly in ``chrome://tracing`` or Perfetto
+(https://ui.perfetto.dev): the step timeline is one track, each step-time
+component (attention / GEMM / allreduce / LM head / overhead) gets its own
+track with slices laid sequentially inside the step interval, per-kernel
+:class:`SimReport` slices appear on a kernels track, and KV-pool occupancy
+plus live-stream counts are emitted as counter tracks.
+
+All timestamps are the *simulated* clock in microseconds (the trace-event
+unit), starting at 0 at run start.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.events import STEP_COMPONENTS, StepEvent
+from repro.obs.tracer import StepTracer
+
+_PID = 1
+_TID_STEPS = 1
+_TID_KERNELS = 2 + len(STEP_COMPONENTS)
+
+_US = 1e6  # seconds → trace-event microseconds
+
+
+def _meta(name: str, tid: Optional[int], label: str) -> Dict[str, object]:
+    ev: Dict[str, object] = {"ph": "M", "pid": _PID, "name": name,
+                             "args": {"name": label}}
+    if tid is not None:
+        ev["tid"] = tid
+    return ev
+
+
+def to_chrome_trace(
+    events: Sequence[StepEvent], metadata: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Convert step events to a ``chrome://tracing`` JSON object."""
+    trace: List[Dict[str, object]] = [
+        _meta("process_name", None, "repro serving engine"),
+        _meta("thread_name", _TID_STEPS, "steps"),
+        _meta("thread_name", _TID_KERNELS, "attention kernels"),
+    ]
+    for i, comp in enumerate(STEP_COMPONENTS):
+        trace.append(_meta("thread_name", 2 + i, comp))
+
+    for ev in events:
+        ts = ev.t_start * _US
+        dur = ev.duration * _US
+        if ev.kind == "idle":
+            trace.append({
+                "ph": "X", "pid": _PID, "tid": _TID_STEPS, "ts": ts,
+                "dur": dur, "name": "idle", "cat": "idle", "args": {},
+            })
+            continue
+        trace.append({
+            "ph": "X", "pid": _PID, "tid": _TID_STEPS, "ts": ts, "dur": dur,
+            "name": f"{ev.kind} #{ev.index}", "cat": "step",
+            "args": {
+                "prefill_tokens": ev.num_prefill_tokens,
+                "decode_tokens": ev.num_decode_tokens,
+                "streams": ev.num_streams,
+                "preemptions": ev.preemptions,
+                "prefix_cache_hits": ev.prefix_cache_hits,
+            },
+        })
+        # Component slices tile the step interval in breakdown order.
+        cursor = ts
+        for i, comp in enumerate(STEP_COMPONENTS):
+            secs = ev.breakdown.get(comp, 0.0)
+            if secs <= 0:
+                continue
+            trace.append({
+                "ph": "X", "pid": _PID, "tid": 2 + i, "ts": cursor,
+                "dur": secs * _US, "name": comp, "cat": "component",
+                "args": {"step": ev.index},
+            })
+            cursor += secs * _US
+        kcursor = ts
+        for k in ev.kernels:
+            trace.append({
+                "ph": "X", "pid": _PID, "tid": _TID_KERNELS, "ts": kcursor,
+                "dur": k.makespan * _US, "name": k.name, "cat": "kernel",
+                "args": {
+                    "phase": k.phase,
+                    "tiles": k.num_tiles,
+                    "ctas": k.num_ctas,
+                    "balance": round(k.balance, 4),
+                    "gflops": k.total_flops / 1e9,
+                    "mbytes": k.total_bytes / 1e6,
+                },
+            })
+            kcursor += k.makespan * _US
+        end = ev.t_end * _US
+        trace.append({
+            "ph": "C", "pid": _PID, "ts": end, "name": "kv_pages",
+            "args": {"used": ev.kv_used_pages, "free": ev.kv_free_pages},
+        })
+        trace.append({
+            "ph": "C", "pid": _PID, "ts": end, "name": "live_streams",
+            "args": {"streams": ev.num_streams},
+        })
+
+    out: Dict[str, object] = {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        out["metadata"] = dict(metadata)
+    return out
+
+
+def write_chrome_trace(
+    path: str,
+    events: Sequence[StepEvent],
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Serialize :func:`to_chrome_trace` to ``path``."""
+    with open(path, "w") as f:
+        json.dump(to_chrome_trace(events, metadata), f)
+
+
+_CSV_FIELDS = (
+    "index", "kind", "t_start", "t_end", "duration",
+    "num_prefill_tokens", "num_decode_tokens", "num_streams",
+    *STEP_COMPONENTS,
+    "kv_free_pages", "kv_used_pages", "preemptions", "prefix_cache_hits",
+    "num_kernels",
+)
+
+
+def to_csv(events: Sequence[StepEvent]) -> str:
+    """Flat per-step CSV log (one row per event, kernels counted only)."""
+    buf = io.StringIO()
+    buf.write(",".join(_CSV_FIELDS) + "\n")
+    for ev in events:
+        d = ev.to_dict()
+        d["num_kernels"] = len(ev.kernels)
+        row = []
+        for fld in _CSV_FIELDS:
+            v = d[fld]
+            row.append(repr(v) if isinstance(v, float) else str(v))
+        buf.write(",".join(row) + "\n")
+    return buf.getvalue()
+
+
+def write_csv(path: str, events: Sequence[StepEvent]) -> None:
+    with open(path, "w") as f:
+        f.write(to_csv(events))
+
+
+def summary_table(tracer: StepTracer) -> str:
+    """Human-readable run summary: steps, tokens, component breakdown."""
+    lines = ["— step trace summary " + "—" * 43]
+    kinds = ", ".join(
+        f"{n} {k}" for k, n in sorted(tracer.steps_by_kind.items()) if k != "idle"
+    )
+    lines.append(f"steps          : {tracer.num_steps} ({kinds or 'none'})")
+    lines.append(
+        f"tokens         : {tracer.total_prefill_tokens} prefill, "
+        f"{tracer.total_decode_tokens} decode"
+    )
+    lines.append(
+        f"wall clock     : {tracer.busy_time * 1e3:.2f} ms busy, "
+        f"{tracer.idle_time * 1e3:.2f} ms idle"
+    )
+    if tracer.total_preemptions or tracer.total_prefix_hits:
+        lines.append(
+            f"scheduler      : {tracer.total_preemptions} preemptions, "
+            f"{tracer.total_prefix_hits} prefix-cache hits"
+        )
+    shares = tracer.component_shares()
+    width = 30
+    for comp in STEP_COMPONENTS:
+        secs = tracer.component_time.get(comp, 0.0)
+        frac = shares.get(comp, 0.0)
+        bar = "█" * int(round(frac * width))
+        lines.append(
+            f"  {comp:<9s} {secs * 1e3:9.2f} ms {frac:6.1%} |{bar:<{width}}|"
+        )
+    if tracer.num_kernels:
+        lines.append(
+            f"kernels        : {tracer.num_kernels} simulated launches, "
+            f"{tracer.kernel_time * 1e3:.2f} ms attention-kernel time"
+        )
+    if tracer.step_hist.total:
+        lines.append(
+            f"step latency   : p50 ≈ {tracer.step_hist.quantile(0.5) * 1e3:.3f} ms, "
+            f"p99 ≈ {tracer.step_hist.quantile(0.99) * 1e3:.3f} ms"
+        )
+    return "\n".join(lines)

@@ -23,13 +23,14 @@ framework efficiencies the engine folds into the rest of the step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.baselines.flash_attention import FlashAttentionBaseline
 from repro.core.kernels import HeadConfig
 from repro.core.variant import VANILLA
 from repro.core.wrapper import BatchAttentionWrapper, ComposableAttentionWrapper
 from repro.gpu.cost import KernelCostModel
+from repro.gpu.executor import SimReport
 from repro.gpu.spec import GPUSpec
 from repro.gpu.workspace import WorkspaceBuffer
 from repro.sparse.composable import ComposableFormat
@@ -53,12 +54,35 @@ class AttentionBackend:
     name: str = "base"
     characteristics: BackendCharacteristics
     supports_composable: bool = False
+    #: When set (by a tracing engine), :meth:`attention_time` implementations
+    #: stash the per-kernel :class:`SimReport` of each simulated launch for
+    #: :meth:`pop_kernel_reports`.  Off by default — the untraced step loop
+    #: pays nothing.
+    collect_kernel_reports: bool = False
 
     def attention_time(
         self, formats: "ComposableFormat | AttentionMapping", decode: bool
     ) -> float:
         """Simulated seconds for one layer's attention under this backend."""
         raise NotImplementedError
+
+    def _record_kernel(self, name: str, report: SimReport) -> None:
+        if not self.collect_kernel_reports or report is None:
+            return
+        self.__dict__.setdefault("_pending_kernel_reports", []).append((name, report))
+
+    def pop_kernel_reports(self) -> List[Tuple[str, SimReport]]:
+        """Drain the kernel reports recorded since the last pop.
+
+        One entry per simulated kernel launch of the latest
+        :meth:`attention_time` call(s), as ``(kernel name, SimReport)``.
+        Empty unless :attr:`collect_kernel_reports` is set.
+        """
+        pending = self.__dict__.get("_pending_kernel_reports")
+        if not pending:
+            return []
+        self.__dict__["_pending_kernel_reports"] = []
+        return pending
 
     def step_overhead(self, num_layers: int, gpu: GPUSpec) -> float:
         """Per-step host overhead: one launch for a captured graph, or
@@ -117,6 +141,7 @@ class FlashInferBackend(AttentionBackend):
             w = self._single_wrapper(decode)
             w.plan(formats)
             _, _, report = w.run(None, compute=False)
+            self._record_kernel(w.name, report)
             return report.makespan
         # Composable stack: a fresh wrapper set per distinct format count is
         # cached under the phase key (separate CUDAGraphs per config, §3.4).
@@ -129,6 +154,11 @@ class FlashInferBackend(AttentionBackend):
             self._composable_wrappers[key] = cw
         cw.plan(formats)
         _, report = cw.run(None, compute=False)
+        if self.collect_kernel_reports:
+            # Per-format visibility: one record per stacked wrapper rather
+            # than only the ⊕-combined report.
+            for sub in cw.wrappers:
+                self._record_kernel(sub.name, sub.last_report)
         return report.makespan
 
 
@@ -163,6 +193,7 @@ class TritonBackend(AttentionBackend):
     def attention_time(self, formats, decode: bool) -> float:
         mapping = self._flatten(formats)
         _, report = self._fa.run(mapping, decode=decode, sparse_gather=True)
+        self._record_kernel("triton_fa2_decode" if decode else "triton_fa2_prefill", report)
         return report.makespan
 
     @staticmethod
@@ -192,4 +223,8 @@ class TRTLLMBackend(AttentionBackend):
 
     def attention_time(self, formats, decode: bool) -> float:
         mapping = TritonBackend._flatten(formats)
-        return self._inner.attention_time(mapping, decode)
+        self._inner.collect_kernel_reports = self.collect_kernel_reports
+        makespan = self._inner.attention_time(mapping, decode)
+        for name, report in self._inner.pop_kernel_reports():
+            self._record_kernel(f"trtllm_{name}", report)
+        return makespan

@@ -26,6 +26,8 @@ import numpy as np
 from repro.core.kernels import HeadConfig
 from repro.gpu.spec import GPUSpec
 from repro.kvcache.paged import OutOfPagesError, PagedKVCache
+from repro.obs.events import KernelRecord, StepEvent
+from repro.obs.tracer import StepTracer
 from repro.serving.backends import AttentionBackend
 from repro.serving.metrics import RequestTrace, ServingMetrics
 from repro.serving.model import ModelConfig
@@ -89,11 +91,18 @@ class ServingEngine:
         backend: AttentionBackend,
         gpu: GPUSpec,
         config: Optional[EngineConfig] = None,
+        tracer: Optional[StepTracer] = None,
     ):
         self.model = model
         self.backend = backend
         self.gpu = gpu
         self.config = config or EngineConfig()
+        #: Optional :class:`repro.obs.StepTracer`; when ``None`` the step
+        #: loop allocates no event objects (a single ``is None`` check).
+        self.tracer = tracer
+        self._tracer: Optional[StepTracer] = None
+        self._event_index = 0
+        self._step_prefix_hits = 0
         self.heads = HeadConfig(
             model.num_qo_heads // self.config.tensor_parallel
             if model.num_qo_heads % self.config.tensor_parallel == 0
@@ -124,11 +133,83 @@ class ServingEngine:
             + cfg.scheduler_overhead
         )
 
+    def _step_components(self, attn_per_layer: float, num_tokens: int) -> dict:
+        """The terms of :meth:`_step_time` itemized for tracing; the values
+        sum to the step duration (same arithmetic, regrouped)."""
+        m, cfg = self.model, self.config
+        ch = self.backend.characteristics
+        return {
+            "attention": m.num_layers * attn_per_layer,
+            "gemm": m.num_layers * m.layer_nonattn_time(
+                num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel
+            ),
+            "allreduce": m.num_layers * m.allreduce_time(
+                num_tokens, cfg.tensor_parallel, ch.allreduce_efficiency
+            ),
+            "lm_head": m.lm_head_time(
+                num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel
+            ),
+            "overhead": self.backend.step_overhead(m.num_layers, self.gpu)
+            + cfg.scheduler_overhead,
+        }
+
+    # -- tracing ----------------------------------------------------------------
+
+    def _emit_step(
+        self, kind, t_start, t_end, attn_per_layer, prefill_tokens,
+        decode_tokens, num_streams, cache, preemptions,
+    ) -> None:
+        """Record one :class:`StepEvent`; called only when tracing is on."""
+        tracer = self._tracer
+        event = StepEvent(
+            index=self._event_index,
+            kind=kind,
+            t_start=t_start,
+            t_end=t_end,
+            num_prefill_tokens=prefill_tokens,
+            num_decode_tokens=decode_tokens,
+            num_streams=num_streams,
+            breakdown=self._step_components(
+                attn_per_layer, prefill_tokens + decode_tokens
+            ),
+            kv_free_pages=cache.num_free_pages,
+            kv_used_pages=cache.num_used_pages,
+            preemptions=preemptions,
+            prefix_cache_hits=self._step_prefix_hits,
+        )
+        if tracer.capture_kernels:
+            event.kernels = [
+                KernelRecord.from_report(name, kind, report)
+                for name, report in self.backend.pop_kernel_reports()
+            ]
+        self._event_index += 1
+        self._step_prefix_hits = 0
+        tracer.on_step(event)
+
+    def _emit_idle(self, t_start: float, t_end: float) -> None:
+        self._tracer.on_step(
+            StepEvent(index=self._event_index, kind="idle", t_start=t_start, t_end=t_end)
+        )
+        self._event_index += 1
+
     # -- main loop --------------------------------------------------------------
 
-    def run(self, requests: Sequence[Request]) -> ServingMetrics:
-        """Serve ``requests`` to completion; returns latency metrics."""
+    def run(
+        self, requests: Sequence[Request], tracer: Optional[StepTracer] = None
+    ) -> ServingMetrics:
+        """Serve ``requests`` to completion; returns latency metrics.
+
+        ``tracer`` (or the one passed at construction) receives one
+        :class:`repro.obs.StepEvent` per step; with no tracer the loop runs
+        exactly as before — no event objects are allocated.
+        """
         cfg = self.config
+        self._tracer = tracer if tracer is not None else self.tracer
+        self._event_index = 0
+        self._step_prefix_hits = 0
+        self.backend.collect_kernel_reports = (
+            self._tracer is not None and self._tracer.capture_kernels
+        )
         cache = PagedKVCache(
             cfg.num_pool_pages, cfg.page_size, self.heads.num_kv_heads,
             self.heads.head_dim, materialize=False,
@@ -183,10 +264,15 @@ class ServingEngine:
                     "work running; increase EngineConfig.num_pool_pages"
                 )
             elif waiting:
-                t = max(t, requests[waiting[0]].arrival)
+                t_next = max(t, requests[waiting[0]].arrival)
+                if self._tracer is not None and t_next > t:
+                    self._emit_idle(t, t_next)
+                t = t_next
             else:
                 break
         metrics.total_time = t
+        if self._tracer is not None:
+            metrics.step_stats = self._tracer.counters()
         return metrics
 
     # -- phases --------------------------------------------------------------------
@@ -232,6 +318,7 @@ class ServingEngine:
         if hit is not None:
             pages, cached = hit
             sid = cache.new_seq(shared_pages=pages, shared_len=cached)
+            self._step_prefix_hits += 1
             return sid, req.prompt_len - cached
         return cache.new_seq(), req.prompt_len
 
@@ -269,7 +356,7 @@ class ServingEngine:
             causal=True,
         )
         attn = self.backend.attention_time(mapping, decode=False)
-        t += self._step_time(attn, tokens)
+        t0, t = t, t + self._step_time(attn, tokens)
 
         for idx, sid in zip(batch, seqs):
             req = requests[idx]
@@ -279,6 +366,10 @@ class ServingEngine:
                 streams.append(_Stream(idx, stream_seq, req.output_len - 1, trace))
                 if req.output_len - 1 == 0:
                     self._finish(streams[-1], cache, streams, metrics)
+        if self._tracer is not None:
+            self._emit_step(
+                "prefill", t0, t, attn, tokens, 0, len(streams), cache, 0
+            )
         return t
 
     def _mixed_step(
@@ -288,6 +379,7 @@ class ServingEngine:
         """One chunked-prefill step: all decode streams plus up to
         ``prefill_chunk_size`` prompt tokens piggybacked (Sarathi-serve)."""
         cfg = self.config
+        preempt_before = metrics.preemptions
         self._ensure_decode_capacity(cache, streams, metrics, preempted)
         for s in streams:
             cache.extend(s.seq_id, 1)
@@ -337,7 +429,8 @@ class ServingEngine:
                 formats = decompose_shared_prefix(mapping, clusters)
         attn = self.backend.attention_time(formats, decode=not segments)
         prefill_tokens = sum(chunk for _, chunk in segments)
-        t += self._step_time(attn, len(streams) + prefill_tokens)
+        n_decode = len(streams)
+        t0, t = t, t + self._step_time(attn, n_decode + prefill_tokens)
 
         # Prompts whose last chunk landed this step start decoding.
         for pp, _ in segments:
@@ -360,10 +453,16 @@ class ServingEngine:
                 finished.append(s)
         for s in finished:
             self._finish(s, cache, streams, metrics)
+        if self._tracer is not None:
+            self._emit_step(
+                "mixed", t0, t, attn, prefill_tokens, n_decode, len(streams),
+                cache, metrics.preemptions - preempt_before,
+            )
         return t
 
     def _decode_step(self, t, requests, cache, streams, metrics, preempted=None) -> float:
         cfg = self.config
+        preempt_before = metrics.preemptions
         self._ensure_decode_capacity(cache, streams, metrics, preempted)
         for s in streams:
             cache.extend(s.seq_id, 1)
@@ -379,7 +478,8 @@ class ServingEngine:
             if clusters:
                 formats = decompose_shared_prefix(mapping, clusters)
         attn = self.backend.attention_time(formats, decode=True)
-        t += self._step_time(attn, len(streams))
+        n_decode = len(streams)
+        t0, t = t, t + self._step_time(attn, n_decode)
 
         finished = []
         for s in streams:
@@ -389,6 +489,11 @@ class ServingEngine:
                 finished.append(s)
         for s in finished:
             self._finish(s, cache, streams, metrics)
+        if self._tracer is not None:
+            self._emit_step(
+                "decode", t0, t, attn, 0, n_decode, len(streams), cache,
+                metrics.preemptions - preempt_before,
+            )
         return t
 
     def _ensure_decode_capacity(self, cache, streams, metrics, preempted) -> None:
@@ -454,8 +559,12 @@ class ServingEngine:
             causal=True,
         )
         attn = self.backend.attention_time(mapping, decode=False)
-        t += self._step_time(attn, tokens)
+        t0, t = t, t + self._step_time(attn, tokens)
         streams.extend(batch)
+        if self._tracer is not None:
+            self._emit_step(
+                "resume", t0, t, attn, tokens, 0, len(streams), cache, 0
+            )
         return t
 
     def _fork_clusters(self, requests, streams, cache) -> List[PrefixCluster]:

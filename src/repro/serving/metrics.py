@@ -11,7 +11,7 @@ same accessors are provided here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -42,6 +42,10 @@ class ServingMetrics:
     total_time: float = 0.0
     total_output_tokens: int = 0
     preemptions: int = 0
+    #: Rolling counters from the run's :class:`repro.obs.StepTracer`
+    #: (step counts by kind, per-component time totals, step-latency
+    #: percentiles); attached by the engine when tracing is enabled.
+    step_stats: Optional[Dict[str, float]] = None
 
     def add(self, trace: RequestTrace) -> None:
         self.traces.append(trace)
@@ -76,7 +80,7 @@ class ServingMetrics:
         return self.total_output_tokens / self.total_time if self.total_time > 0 else 0.0
 
     def summary(self) -> Dict[str, float]:
-        return {
+        out = {
             "median_ttft": self.median_ttft(),
             "p99_ttft": self.p99_ttft(),
             "median_itl": self.median_itl(),
@@ -85,3 +89,7 @@ class ServingMetrics:
             "num_requests": float(len(self.traces)),
             "preemptions": float(self.preemptions),
         }
+        if self.step_stats:
+            for key, value in self.step_stats.items():
+                out[f"obs_{key}"] = value
+        return out

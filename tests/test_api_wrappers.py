@@ -39,7 +39,7 @@ class TestBatchDecode:
         cache, seqs, layout, last = build_cache(kv_lens, rng)
         ws = WorkspaceBuffer(1 << 27)
         w = BatchDecodeWithPagedKVCacheWrapper(ws, 4, 2, 32, page_size=16)
-        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        w.plan(layout.indptr, layout.indices, last)
         q = rng.standard_normal((3, 4, 32))
         out = w.run(q, cache.k_pool, cache.v_pool)
         for r, sid in enumerate(seqs):
@@ -50,7 +50,7 @@ class TestBatchDecode:
     def test_return_lse(self, rng):
         cache, seqs, layout, last = build_cache([24], rng)
         w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
-        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        w.plan(layout.indptr, layout.indices, last)
         q = rng.standard_normal((1, 4, 32))
         out, lse = w.run(q, cache.k_pool, cache.v_pool, return_lse=True)
         assert lse.shape == (1, 4)
@@ -61,14 +61,14 @@ class TestBatchDecode:
         w = BatchDecodeWithPagedKVCacheWrapper(
             WorkspaceBuffer(1 << 26), 4, 2, 32, 16, max_batch_size=8
         )
-        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        w.plan(layout.indptr, layout.indices, last)
         cache.append(seqs[0], rng.standard_normal((1, 2, 32)),
                      rng.standard_normal((1, 2, 32)))
         layout2 = cache.layout(seqs)
         last2 = np.asarray(
             [cache.seq_len(s) - (len(cache.seq_pages(s)) - 1) * 16 for s in seqs]
         )
-        w.plan(layout2.indptr, layout2.indices, last2, cache.num_pages)
+        w.plan(layout2.indptr, layout2.indices, last2)
         q = rng.standard_normal((2, 4, 32))
         out = w.run(q, cache.k_pool, cache.v_pool)
         k, v = cache.gather(seqs[0])
@@ -83,7 +83,7 @@ class TestBatchPrefill:
         w = BatchPrefillWithPagedKVCacheWrapper(
             WorkspaceBuffer(1 << 27), 4, 2, 32, page_size=16, avg_qo_len=5
         )
-        w.plan(np.array([0, 5]), layout.indptr, layout.indices, last, cache.num_pages)
+        w.plan(np.array([0, 5]), layout.indptr, layout.indices, last)
         q = rng.standard_normal((5, 4, 32))
         out = w.run(q, cache.k_pool, cache.v_pool)
         k, v = cache.gather(seqs[0])
@@ -183,7 +183,7 @@ class TestAPIWithVariants:
             WorkspaceBuffer(1 << 26), 4, 2, 32, 16,
             variant=make_sliding_window(16),
         )
-        w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        w.plan(layout.indptr, layout.indices, last)
         q = rng.standard_normal((1, 4, 32))
         out = w.run(q, cache.k_pool, cache.v_pool)
         k, v = cache.gather(seqs[0])
@@ -203,8 +203,198 @@ class TestAPIWithVariants:
         w = BatchPrefillWithPagedKVCacheWrapper(
             WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=128
         )
-        w.plan(np.array([0, 128]), layout.indptr, layout.indices, last,
-               cache.num_pages)
+        w.plan(np.array([0, 128]), layout.indptr, layout.indices, last)
         w.run(rng.standard_normal((128, 4, 32)), cache.k_pool, cache.v_pool)
         assert w.last_report is not None
         assert w.last_report.makespan > 0
+
+
+class TestPlanRunDiscipline:
+    """run() before plan() must fail loudly, naming the wrapper (§3.4)."""
+
+    def test_decode_run_before_plan(self, rng):
+        w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
+        q = rng.standard_normal((1, 4, 32))
+        pool = rng.standard_normal((16, 2, 32))
+        with pytest.raises(RuntimeError, match=r"BatchDecodeWithPagedKVCacheWrapper\.run\(\) called before plan\(\)"):
+            w.run(q, pool, pool)
+
+    def test_paged_prefill_run_before_plan(self, rng):
+        w = BatchPrefillWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
+        q = rng.standard_normal((4, 4, 32))
+        pool = rng.standard_normal((16, 2, 32))
+        with pytest.raises(RuntimeError, match="BatchPrefillWithPagedKVCacheWrapper"):
+            w.run(q, pool, pool)
+
+    def test_ragged_prefill_run_before_plan(self, rng):
+        w = BatchPrefillWithRaggedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32)
+        q = rng.standard_normal((4, 4, 32))
+        kv = rng.standard_normal((4, 2, 32))
+        with pytest.raises(RuntimeError, match="BatchPrefillWithRaggedKVCacheWrapper"):
+            w.run(q, kv, kv)
+
+
+class TestPoolInference:
+    """pool_num_pages is inferred at plan() and validated at run()."""
+
+    def test_explicit_pool_num_pages_deprecated(self, rng):
+        cache, seqs, layout, last = build_cache([40], rng)
+        w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
+        with pytest.warns(DeprecationWarning, match="pool_num_pages.*deprecated"):
+            w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        # The deprecated path still computes the same answer.
+        q = rng.standard_normal((1, 4, 32))
+        out = w.run(q, cache.k_pool, cache.v_pool)
+        k, v = cache.gather(seqs[0])
+        ref = reference_attention(q[0:1], fp16(k), fp16(v), causal=True)
+        np.testing.assert_allclose(out[0:1], ref, atol=1e-6)
+
+    def test_prefill_explicit_pool_num_pages_deprecated(self, rng):
+        cache, seqs, layout, last = build_cache([50], rng)
+        w = BatchPrefillWithPagedKVCacheWrapper(
+            WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=5
+        )
+        with pytest.warns(DeprecationWarning):
+            w.plan(np.array([0, 5]), layout.indptr, layout.indices, last,
+                   cache.num_pages)
+
+    def test_inferred_plan_emits_no_warning(self, rng):
+        import warnings
+
+        cache, seqs, layout, last = build_cache([40], rng)
+        w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            w.plan(layout.indptr, layout.indices, last)
+
+    def test_run_rejects_too_small_pool(self, rng):
+        cache, seqs, layout, last = build_cache([40, 111, 7], rng)
+        w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 27), 4, 2, 32, 16)
+        w.plan(layout.indptr, layout.indices, last)
+        q = rng.standard_normal((3, 4, 32))
+        with pytest.raises(ValueError, match="pool holds"):
+            w.run(q, cache.k_pool[:16], cache.v_pool[:16])
+
+
+class TestWrapperParity:
+    """Decode/prefill wrappers agree with a direct BatchAttentionWrapper
+    planned on the same mapping."""
+
+    def test_decode_parity(self, rng):
+        from repro.core import VANILLA, HeadConfig
+        from repro.sparse.layout import AttentionMapping
+        from repro.core.wrapper import BatchAttentionWrapper
+        from repro.gpu import A100_40G
+
+        kv_lens = [40, 111, 7]
+        cache, seqs, layout, last = build_cache(kv_lens, rng)
+        q = rng.standard_normal((3, 4, 32))
+
+        w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 27), 4, 2, 32, 16)
+        w.plan(layout.indptr, layout.indices, last)
+        out = w.run(q, cache.k_pool, cache.v_pool)
+
+        direct = BatchAttentionWrapper(
+            VANILLA, HeadConfig(4, 2, 32), WorkspaceBuffer(1 << 27), A100_40G,
+            avg_qo_len=1.0,
+        )
+        mapping = AttentionMapping(np.arange(4), cache.layout(seqs), causal=True)
+        direct.plan(mapping)
+        ref, _, _ = direct.run(q, cache.k_pool, cache.v_pool)
+        np.testing.assert_allclose(out, ref, atol=0)
+
+    def test_prefill_parity(self, rng):
+        from repro.core import VANILLA, HeadConfig
+        from repro.sparse.layout import AttentionMapping
+        from repro.core.wrapper import BatchAttentionWrapper
+        from repro.gpu import A100_40G
+
+        cache, seqs, layout, last = build_cache([50, 80], rng)
+        qo_indptr = np.array([0, 5, 12])
+        q = rng.standard_normal((12, 4, 32))
+
+        w = BatchPrefillWithPagedKVCacheWrapper(
+            WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=6
+        )
+        w.plan(qo_indptr, layout.indptr, layout.indices, last)
+        out = w.run(q, cache.k_pool, cache.v_pool)
+
+        direct = BatchAttentionWrapper(
+            VANILLA, HeadConfig(4, 2, 32), WorkspaceBuffer(1 << 27), A100_40G,
+            avg_qo_len=6.0,
+        )
+        mapping = AttentionMapping(qo_indptr, cache.layout(seqs), causal=True)
+        direct.plan(mapping)
+        ref, _, _ = direct.run(q, cache.k_pool, cache.v_pool)
+        np.testing.assert_allclose(out, ref, atol=0)
+
+
+class TestWorkspaceCache:
+    """single_prefill_with_kv_cache reuses one module-level workspace per
+    size class instead of allocating a fresh ≥64 MB buffer every call."""
+
+    def setup_method(self):
+        from repro.api import clear_workspace_cache
+
+        clear_workspace_cache()
+
+    teardown_method = setup_method
+
+    def test_repeat_calls_share_one_workspace(self, rng):
+        import repro.api.wrappers as wmod
+
+        q = rng.standard_normal((20, 4, 32))
+        k = rng.standard_normal((20, 2, 32))
+        v = rng.standard_normal((20, 2, 32))
+        single_prefill_with_kv_cache(q, k, v)
+        assert len(wmod._WORKSPACE_CACHE) == 1
+        assert len(wmod._SINGLE_WRAPPER_CACHE) == 1
+        wrapper = next(iter(wmod._SINGLE_WRAPPER_CACHE.values()))
+
+        q2 = rng.standard_normal((31, 4, 32))
+        k2 = rng.standard_normal((64, 2, 32))
+        v2 = rng.standard_normal((64, 2, 32))
+        out = single_prefill_with_kv_cache(q2, k2, v2)
+        # Same size class + geometry → same buffer, same wrapper object.
+        assert len(wmod._WORKSPACE_CACHE) == 1
+        assert next(iter(wmod._SINGLE_WRAPPER_CACHE.values())) is wrapper
+        ref = reference_attention(q2, fp16(k2), fp16(v2), causal=True)
+        np.testing.assert_allclose(out, ref, atol=1e-6)
+
+    def test_distinct_geometries_get_distinct_wrappers(self, rng):
+        import repro.api.wrappers as wmod
+
+        single_prefill_with_kv_cache(
+            rng.standard_normal((8, 4, 32)), rng.standard_normal((8, 2, 32)),
+            rng.standard_normal((8, 2, 32)))
+        single_prefill_with_kv_cache(
+            rng.standard_normal((8, 2, 16)), rng.standard_normal((8, 2, 16)),
+            rng.standard_normal((8, 2, 16)))
+        assert len(wmod._SINGLE_WRAPPER_CACHE) == 2
+        assert len(wmod._WORKSPACE_CACHE) == 1  # both fit the 64 MB class
+
+    def test_single_decode_uses_cache(self, rng):
+        import repro.api.wrappers as wmod
+
+        q = rng.standard_normal((4, 32))
+        k = rng.standard_normal((77, 2, 32))
+        v = rng.standard_normal((77, 2, 32))
+        out1 = single_decode_with_kv_cache(q, k, v)
+        out2 = single_decode_with_kv_cache(q, k, v)
+        assert len(wmod._WORKSPACE_CACHE) == 1
+        np.testing.assert_allclose(out1, out2, atol=0)
+
+    def test_tracer_records_standalone_kernel(self, rng):
+        from repro.obs import StepTracer
+
+        tracer = StepTracer()
+        q = rng.standard_normal((16, 4, 32))
+        kv = rng.standard_normal((16, 2, 32))
+        single_prefill_with_kv_cache(q, kv, kv, tracer=tracer)
+        assert tracer.num_kernels == 1
+        rec = tracer.kernels[0]
+        assert rec.phase == "prefill"
+        assert rec.makespan > 0
+        # Tracer is detached afterwards: a second untraced call records nothing.
+        single_prefill_with_kv_cache(q, kv, kv)
+        assert tracer.num_kernels == 1
