@@ -96,9 +96,10 @@ def _cmd_serve(args) -> int:
     print(f"{args.requests} ShareGPT-like requests at {args.rate} req/s, {model.name} on H100")
     for make in (FlashInferBackend, TritonBackend, TRTLLMBackend):
         backend = make(heads, H100_80G)
-        # The FlashInfer run (the system under test) carries the tracer.
+        # The FlashInfer run (the system under test) carries the tracer —
+        # unless --chaos is on, in which case the chaos run below gets it.
         tracer = None
-        if args.trace and make is FlashInferBackend:
+        if args.trace and make is FlashInferBackend and not args.chaos:
             from repro.obs import StepTracer
 
             tracer = StepTracer()
@@ -124,7 +125,77 @@ def _cmd_serve(args) -> int:
                 write_csv(args.trace_csv, tracer.events)
                 print(f"  step log   → {args.trace_csv}")
             print("\n" + summary_table(tracer) + "\n")
+
+    if args.chaos:
+        return _serve_chaos(args, model, heads, requests)
     return 0
+
+
+def _serve_chaos(args, model, heads, requests) -> int:
+    """The ``serve --chaos`` pass: a no-fault resilience baseline, then a
+    seeded chaos run, and a token-exactness comparison between the two."""
+    from repro.faults import ResilienceConfig, chaos_plan
+    from repro.gpu import H100_80G
+    from repro.serving import EngineConfig, FlashInferBackend, ServingEngine
+
+    resil = ResilienceConfig(deadline=args.deadline, max_retries=args.max_retries)
+    cfg = EngineConfig(max_running=256)
+
+    baseline = ServingEngine(
+        model, FlashInferBackend(heads, H100_80G), H100_80G, cfg, resilience=resil
+    ).run(requests)
+
+    tracer = None
+    if args.trace:
+        from repro.obs import StepTracer
+
+        tracer = StepTracer()
+    chaos = ServingEngine(
+        model, FlashInferBackend(heads, H100_80G), H100_80G, cfg,
+        tracer=tracer, fault_plan=chaos_plan(args.chaos_seed), resilience=resil,
+    ).run(requests)
+
+    s = chaos.summary()
+    expected = {(t.req_id, t.gen_index): t.tokens for t in baseline.traces}
+    compared = [
+        t for t in chaos.traces if (t.req_id, t.gen_index) in expected
+    ]
+    divergent = sum(
+        1 for t in compared if t.tokens != expected[(t.req_id, t.gen_index)]
+    )
+    print(f"\n  chaos (seed {args.chaos_seed}):")
+    print(
+        f"    faults_injected={int(s['faults_injected'])} "
+        f"kernel_faults={int(s['kernel_faults'])} "
+        f"checksum_failures={int(s['checksum_failures'])} "
+        f"alloc_faults={int(s['alloc_faults'])}"
+    )
+    print(
+        f"    retries={int(s['retries'])} sheds={int(s['sheds'])} "
+        f"degraded_steps={int(s['degraded_steps'])} "
+        f"watchdog_flags={int(s['watchdog_flags'])}"
+    )
+    print(
+        f"    token_divergence={divergent} "
+        f"({len(compared)} streams compared, {chaos.sheds} shed)"
+    )
+    if tracer is not None:
+        from repro.obs import summary_table, write_chrome_trace, write_csv
+
+        write_chrome_trace(
+            args.trace, tracer.events,
+            metadata={"model": model.name, "backend": "flashinfer",
+                      "requests": args.requests, "rate": args.rate,
+                      "chaos_seed": args.chaos_seed},
+            fault_events=tracer.fault_events,
+        )
+        print(f"\n  chaos trace → {args.trace} "
+              f"({len(tracer.fault_events)} fault events embedded)")
+        if args.trace_csv:
+            write_csv(args.trace_csv, tracer.events)
+            print(f"  step log    → {args.trace_csv}")
+        print("\n" + summary_table(tracer) + "\n")
+    return 0 if divergent == 0 else 1
 
 
 def _cmd_figures(args) -> int:
@@ -173,6 +244,25 @@ def main(argv=None) -> int:
     serve.add_argument(
         "--trace-csv", metavar="OUT.csv", default=None, dest="trace_csv",
         help="also write the per-step CSV log (requires --trace)",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="after the comparison, run the FlashInfer engine again under a "
+        "seeded fault plan (transient kernel faults, KV corruption, alloc "
+        "failures, stragglers) and verify token-exact recovery",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=7, dest="chaos_seed",
+        help="seed for the chaos fault plan (default: 7)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in seconds after arrival; expired "
+        "requests are shed (chaos/resilience runs only)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=3, dest="max_retries",
+        help="recompute retries per stream before it is shed (default: 3)",
     )
 
     sub.add_parser("figures", help="how to regenerate the paper figures")

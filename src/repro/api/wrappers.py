@@ -83,7 +83,7 @@ def _warn_pool_num_pages(cls_name: str) -> None:
         f"size is now inferred from the page-table indices and validated "
         f"against the K/V pools passed to run(); drop the argument.",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=4,
     )
 
 
@@ -97,6 +97,27 @@ class _WrapperBase:
         self.tracer = tracer
         self._planned = False
         self._min_pool_pages: Optional[int] = None
+        self._warned_pool_num_pages = False
+
+    def _accept_pool_num_pages(
+        self, pool_num_pages: Optional[int], kv_indices: np.ndarray
+    ) -> None:
+        """Handle the deprecated explicit ``pool_num_pages`` plan argument:
+        warn once per wrapper instance, and reject values the page table
+        contradicts (an index beyond the declared pool)."""
+        if pool_num_pages is None:
+            return
+        if not self._warned_pool_num_pages:
+            self._warned_pool_num_pages = True
+            _warn_pool_num_pages(type(self).__name__)
+        required = int(kv_indices.max()) + 1 if kv_indices.size else 0
+        if pool_num_pages < required:
+            raise ValueError(
+                f"{type(self).__name__}: explicit pool_num_pages="
+                f"{pool_num_pages} contradicts the page table, which "
+                f"references page {required - 1}; drop the argument — the "
+                f"pool size is inferred from the indices"
+            )
 
     def _require_plan(self) -> None:
         if not self._planned:
@@ -168,9 +189,8 @@ class BatchDecodeWithPagedKVCacheWrapper(_WrapperBase):
         sm_scale: Optional[float] = None,
     ) -> None:
         """Stage the decode schedule for the current page table."""
-        if pool_num_pages is not None:
-            _warn_pool_num_pages(type(self).__name__)
         kv_indices = np.asarray(kv_indices, dtype=np.int64)
+        self._accept_pool_num_pages(pool_num_pages, kv_indices)
         batch = np.asarray(kv_indptr).size - 1
         mapping = _paged_kv_mapping(
             self.page_size, np.arange(batch + 1, dtype=np.int64),
@@ -243,9 +263,8 @@ class BatchPrefillWithPagedKVCacheWrapper(_WrapperBase):
         params: Optional[dict] = None,
         sm_scale: Optional[float] = None,
     ) -> None:
-        if pool_num_pages is not None:
-            _warn_pool_num_pages(type(self).__name__)
         kv_indices = np.asarray(kv_indices, dtype=np.int64)
+        self._accept_pool_num_pages(pool_num_pages, kv_indices)
         mapping = _paged_kv_mapping(
             self.page_size, qo_indptr, kv_indptr, kv_indices, last_page_len,
             pool_num_pages, causal=causal,

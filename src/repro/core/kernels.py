@@ -99,6 +99,19 @@ def reference_attention(
     return out
 
 
+def sampled_isfinite(out: np.ndarray, sample_stride: int = 1) -> bool:
+    """Cheap output-guard primitive: ``isfinite`` over every
+    ``sample_stride``-th output row.
+
+    The detection hook of :class:`repro.faults.OutputGuard` — kept here so
+    kernel-level callers (wrappers, backends) share one implementation and
+    one cost model: O(rows/stride) with no temporaries beyond the strided
+    view.
+    """
+    sample = out[::sample_stride] if sample_stride > 1 else out
+    return bool(np.isfinite(sample).all())
+
+
 def kv_reuse_factor(item: WorkItem, mapping: AttentionMapping, q_tile_size: int) -> int:
     """Number of query tiles in the item's group that read its KV chunk.
 

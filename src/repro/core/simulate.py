@@ -189,6 +189,8 @@ def simulate_queues(
     if costs.serial.size:
         np.add.at(serial, cta_of_item, costs.serial)
         np.add.at(mem, cta_of_item, costs.mem)
+    if executor.fault_injector is not None:
+        executor._consult_injector(serial, mem)
     finish = executor._drain(serial, mem, max(1, -(-num_ctas // executor.spec.num_sms)))
     makespan = float(finish.max(initial=0.0)) + executor.spec.kernel_dispatch_overhead
     return SimReport(
@@ -208,8 +210,12 @@ def simulate_grid(
 ) -> SimReport:
     """Grid-launch simulation from cost arrays (baseline path)."""
     slots = executor.spec.num_sms * max(1, ctas_per_sm)
+    serial, mem = costs.serial, costs.mem
+    if executor.fault_injector is not None:
+        serial, mem = serial.copy(), mem.copy()
+        executor._consult_injector(serial, mem)
     makespan, slot_busy = executor._drain_dynamic(
-        list(zip(costs.serial.tolist(), costs.mem.tolist())),
+        list(zip(serial.tolist(), mem.tolist())),
         slots,
         max(1, ctas_per_sm),
     )

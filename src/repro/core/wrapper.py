@@ -162,6 +162,11 @@ class BatchAttentionWrapper:
         self.executor = PersistentKernelExecutor(gpu, cost_model)
         self.last_report: Optional[SimReport] = None
         self.plan_count = 0
+        #: Optional duck-typed :class:`repro.faults.OutputGuard`; when set,
+        #: every compute-path :meth:`run` checks its output through it
+        #: (raising ``NumericalFault`` on NaN/Inf).  ``None`` costs one
+        #: attribute check.
+        self.output_guard = None
 
     # -- workspace layout ---------------------------------------------------
 
@@ -461,6 +466,13 @@ class BatchAttentionWrapper:
 
         launch.current_signature = self._signature  # type: ignore[attr-defined]
         report = CudaGraph.add_launch(launch, self._signature(), name=self.name)
+
+        if compute:
+            inj = self.executor.fault_injector
+            if inj is not None and total_q and inj.fire("numeric"):
+                out[inj.choose("numeric", total_q)] = np.nan
+            if self.output_guard is not None:
+                self.output_guard.check(out, self.name)
 
         if compute and apply_output_transform and self.kernel.output_transform is not None:
             covered = np.zeros(total_q, dtype=bool)

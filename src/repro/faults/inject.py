@@ -1,0 +1,63 @@
+"""Fault types and detection guards.
+
+The exception taxonomy (all transient, all retryable by design):
+
+* :class:`KernelFault` — a simulated kernel launch failed before any work
+  was timed.  Defined in :mod:`repro.gpu.executor` (the raising layer) and
+  re-exported here.
+* :class:`NumericalFault` — an output guard observed NaN/Inf in a kernel's
+  output.  A subclass of :class:`KernelFault` so retry machinery treats a
+  poisoned launch like a failed one.
+* :class:`TransientAllocFault` / :class:`KVCorruptionError` — from
+  :mod:`repro.kvcache.paged`: a retryable page-allocation hiccup and a
+  failed page-integrity check.
+
+:class:`OutputGuard` is the cheap detection hook the wrappers call on the
+compute path: a strided ``isfinite`` sample over the output tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernels import sampled_isfinite
+from repro.gpu.executor import KernelFault
+from repro.kvcache.paged import KVCorruptionError, TransientAllocFault
+
+
+class NumericalFault(KernelFault):
+    """An output guard found non-finite values in a kernel's output."""
+
+
+@dataclass
+class OutputGuard:
+    """Sampled ``isfinite`` check over kernel outputs.
+
+    ``sample_stride`` trades coverage for cost: 1 checks every output row,
+    ``k`` checks every k-th row.  NaN corruption injected by the ``numeric``
+    fault site hits single rows, so tests run with stride 1; production-style
+    configs can raise the stride since a corrupted kernel output typically
+    poisons contiguous row ranges.
+    """
+
+    sample_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.sample_stride < 1:
+            raise ValueError("sample_stride must be >= 1")
+
+    def check(self, out, source: str) -> None:
+        """Raise :class:`NumericalFault` if the sampled rows are not finite."""
+        if not sampled_isfinite(out, self.sample_stride):
+            raise NumericalFault(
+                f"output guard: non-finite attention output from {source}"
+            )
+
+
+__all__ = [
+    "KernelFault",
+    "KVCorruptionError",
+    "NumericalFault",
+    "OutputGuard",
+    "TransientAllocFault",
+]

@@ -1,0 +1,179 @@
+"""Deterministic, seedable fault plans.
+
+A :class:`FaultPlan` is the single source of randomness for chaos runs.
+Each injection *site* (kernel launches, KV pages, CTA stragglers, page
+allocations, numeric outputs) owns an independent RNG stream derived from
+``SeedSequence([seed, site_index])``, so drawing at one site never perturbs
+another site's sequence — two runs with the same seed inject the same
+faults at the same call indices regardless of which detection/recovery
+features are switched on.
+
+Sites fire either probabilistically (``rate`` per consultation) or at
+scripted call indices (``schedules``), which tests use to force a fault at
+an exact launch.  The plan counts every consultation and every firing so
+that acceptance checks can match injected faults 1:1 against the recovery
+or shed events the engine records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+#: Injection sites in a fixed order (the order keys the per-site RNGs).
+FAULT_SITES: Tuple[str, ...] = (
+    "kernel",     # transient kernel failure → KernelFault from run_*
+    "straggler",  # one CTA's serial+memory streams multiplied
+    "corrupt",    # NaN/Inf (or version-bump) corruption of a live KV page
+    "alloc",      # transient page-allocation failure in PagedKVCache
+    "numeric",    # NaN written into a kernel's output tensor
+)
+
+
+class _Site:
+    __slots__ = ("name", "rate", "schedule", "calls", "fired")
+
+    def __init__(self, name: str, rate: float, schedule: Optional[FrozenSet[int]]):
+        self.name = name
+        self.rate = rate
+        self.schedule = schedule
+        self.calls = 0
+        self.fired = 0
+
+
+class FaultPlan:
+    """Seeded per-site fault injection schedule.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; all site streams derive from it.
+    kernel_fault_rate, straggler_rate, corruption_rate, alloc_fault_rate,
+    numeric_fault_rate:
+        Per-consultation firing probability for each site, in ``[0, 1)``.
+        (Exactly 1.0 is rejected: an always-failing site would livelock
+        bounded-retry recovery.)
+    straggler_factor:
+        Multiplier applied to the straggling CTA's serial and memory
+        streams (≥ 1).
+    schedules:
+        ``{site: iterable of call indices}`` forcing those consultations to
+        fire regardless of rate — deterministic hooks for tests.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        kernel_fault_rate: float = 0.0,
+        straggler_rate: float = 0.0,
+        corruption_rate: float = 0.0,
+        alloc_fault_rate: float = 0.0,
+        numeric_fault_rate: float = 0.0,
+        straggler_factor: float = 8.0,
+        schedules: Optional[Mapping[str, Iterable[int]]] = None,
+    ):
+        rates = {
+            "kernel": kernel_fault_rate,
+            "straggler": straggler_rate,
+            "corrupt": corruption_rate,
+            "alloc": alloc_fault_rate,
+            "numeric": numeric_fault_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(
+                    f"{name} rate must be in [0, 1), got {rate} "
+                    f"(a certain fault would livelock bounded retries)"
+                )
+        if straggler_factor < 1.0:
+            raise ValueError(f"straggler_factor must be >= 1, got {straggler_factor}")
+        sched: Dict[str, FrozenSet[int]] = {}
+        for name, idxs in (schedules or {}).items():
+            if name not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {name!r}; expected one of {FAULT_SITES}")
+            sched[name] = frozenset(int(i) for i in idxs)
+        self.seed = int(seed)
+        self.straggler_factor = float(straggler_factor)
+        self._rates = rates
+        self._schedules = sched
+        self._sites: Dict[str, _Site] = {}
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self.reset()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Rewind every site stream to call 0 (the engine resets per run,
+        so reusing one plan across runs replays the identical schedule)."""
+        self._sites = {
+            name: _Site(name, self._rates[name], self._schedules.get(name))
+            for name in FAULT_SITES
+        }
+        self._rngs = {
+            name: np.random.default_rng(np.random.SeedSequence([self.seed, i]))
+            for i, name in enumerate(FAULT_SITES)
+        }
+
+    # -- draws ----------------------------------------------------------------
+
+    def fire(self, site: str) -> bool:
+        """Consult a site once: does this call inject a fault?
+
+        Every consultation advances the site's RNG by exactly one draw, so
+        the firing pattern is a pure function of (seed, call index).
+        """
+        s = self._sites[site]
+        idx = s.calls
+        s.calls += 1
+        u = self._rngs[site].random()  # always draw: keeps indices aligned
+        hit = u < s.rate or (s.schedule is not None and idx in s.schedule)
+        if hit:
+            s.fired += 1
+        return hit
+
+    def choose(self, site: str, n: int) -> int:
+        """Uniform index in ``[0, n)`` from the site's stream (victim pick)."""
+        if n <= 0:
+            raise ValueError("choose() requires n > 0")
+        return int(self._rngs[site].integers(n))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True if any site can ever fire."""
+        return any(s.rate > 0 or s.schedule for s in self._sites.values())
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        """Faults fired so far, per site."""
+        return {name: s.fired for name, s in self._sites.items()}
+
+    @property
+    def total_injected(self) -> int:
+        return sum(s.fired for s in self._sites.values())
+
+    def consultations(self, site: str) -> int:
+        return self._sites[site].calls
+
+    def __repr__(self) -> str:
+        live = ", ".join(
+            f"{n}={s.rate:g}" + (f"+{len(s.schedule)}sched" if s.schedule else "")
+            for n, s in self._sites.items()
+            if s.rate > 0 or s.schedule
+        )
+        return f"FaultPlan(seed={self.seed}, {live or 'disabled'})"
+
+
+def chaos_plan(seed: int = 0) -> FaultPlan:
+    """The default ``--chaos`` preset: every site active at the rates the
+    acceptance checks require (kernel ≥ 5%, page corruption ≥ 1%)."""
+    return FaultPlan(
+        seed=seed,
+        kernel_fault_rate=0.05,
+        straggler_rate=0.02,
+        corruption_rate=0.01,
+        alloc_fault_rate=0.01,
+        straggler_factor=8.0,
+    )

@@ -22,7 +22,7 @@ model captures; absolute times are simulator units.
 
 from repro.gpu.spec import GPUSpec, A100_40G, H100_80G
 from repro.gpu.cost import TileCost, KernelCostModel
-from repro.gpu.executor import PersistentKernelExecutor, SimReport
+from repro.gpu.executor import KernelFault, PersistentKernelExecutor, SimReport
 from repro.gpu.workspace import WorkspaceBuffer, WorkspaceSection
 from repro.gpu.cudagraph import CudaGraph, CudaGraphPool, GraphCaptureError, batch_size_bucket
 
@@ -32,6 +32,7 @@ __all__ = [
     "H100_80G",
     "TileCost",
     "KernelCostModel",
+    "KernelFault",
     "PersistentKernelExecutor",
     "SimReport",
     "WorkspaceBuffer",

@@ -43,6 +43,16 @@ SINGLE_SM_BANDWIDTH_FRACTION = 0.05
 _EPS = 1e-18
 
 
+class KernelFault(RuntimeError):
+    """A transient simulated-kernel failure (injected by a fault plan).
+
+    Raised from :meth:`PersistentKernelExecutor.run_persistent` /
+    :meth:`~PersistentKernelExecutor.run_grid` (and the vectorized
+    cost-only paths in :mod:`repro.core.simulate`) before any work is
+    timed — the launch never happened, so callers may simply retry.
+    """
+
+
 @dataclass
 class SimReport:
     """Outcome of one simulated kernel execution."""
@@ -103,6 +113,11 @@ class SimReport:
 class PersistentKernelExecutor:
     """Executes simulated work under a cost model on a :class:`GPUSpec`."""
 
+    #: Optional fault injector (duck-typed :class:`repro.faults.FaultPlan`):
+    #: consulted once per simulated launch.  ``None`` (the default) keeps
+    #: the launch paths exactly as before — a single attribute check.
+    fault_injector = None
+
     def __init__(
         self,
         spec: GPUSpec,
@@ -112,6 +127,28 @@ class PersistentKernelExecutor:
         self.spec = spec
         self.cost_model = cost_model if cost_model is not None else KernelCostModel(spec)
         self.single_sm_bw_fraction = single_sm_bw_fraction
+
+    # -- fault injection ------------------------------------------------------
+
+    def _consult_injector(self, serial: np.ndarray, mem: np.ndarray) -> None:
+        """One consultation of the attached fault plan per simulated launch.
+
+        May raise :class:`KernelFault` (a transient launch failure — no
+        work was timed) or stretch one CTA's serial and memory streams in
+        place (a straggler CTA).
+        """
+        inj = self.fault_injector
+        if inj is None:
+            return
+        if inj.fire("kernel"):
+            raise KernelFault(
+                f"injected transient kernel fault "
+                f"(launch #{inj.consultations('kernel') - 1})"
+            )
+        if serial.size and inj.fire("straggler"):
+            i = inj.choose("straggler", serial.size)
+            serial[i] *= inj.straggler_factor
+            mem[i] *= inj.straggler_factor
 
     # -- tile → stream conversion -------------------------------------------
 
@@ -152,6 +189,8 @@ class PersistentKernelExecutor:
                 total_flops += cost.flops
                 total_bytes += cost.bytes_read + cost.bytes_written
                 num_tiles += 1
+        if self.fault_injector is not None:
+            self._consult_injector(serial, mem)
         finish = self._drain(serial, mem, resident)
         makespan = float(finish.max()) + self.spec.kernel_dispatch_overhead
         return SimReport(
@@ -172,6 +211,11 @@ class PersistentKernelExecutor:
         compute_share = min(1.0, self.spec.num_sms / slots)
         resident = max(1, ctas_per_sm)
         streams = [self._streams(c, compute_share) for c in blocks]
+        if self.fault_injector is not None:
+            s_arr = np.asarray([s for s, _ in streams])
+            m_arr = np.asarray([m for _, m in streams])
+            self._consult_injector(s_arr, m_arr)
+            streams = list(zip(s_arr.tolist(), m_arr.tolist()))
         total_flops = sum(c.flops for c in blocks)
         total_bytes = sum(c.bytes_read + c.bytes_written for c in blocks)
 

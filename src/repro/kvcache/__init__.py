@@ -15,8 +15,20 @@ All export their per-sequence structure as
 consume.
 """
 
-from repro.kvcache.paged import OutOfPagesError, PagedKVCache
+from repro.kvcache.paged import (
+    KVCorruptionError,
+    OutOfPagesError,
+    PagedKVCache,
+    TransientAllocFault,
+)
 from repro.kvcache.radix import RadixTree
 from repro.kvcache.streaming import StreamingKVCache
 
-__all__ = ["OutOfPagesError", "PagedKVCache", "RadixTree", "StreamingKVCache"]
+__all__ = [
+    "KVCorruptionError",
+    "OutOfPagesError",
+    "PagedKVCache",
+    "RadixTree",
+    "StreamingKVCache",
+    "TransientAllocFault",
+]

@@ -25,6 +25,25 @@ class OutOfPagesError(RuntimeError):
     """Raised when an allocation cannot be satisfied from the free pool."""
 
 
+class TransientAllocFault(OutOfPagesError):
+    """An injected, retryable page-allocation failure (fault plan ``alloc``
+    site): the pool has pages, but this particular allocation hiccuped.
+    Subclasses :class:`OutOfPagesError` so non-resilient callers see the
+    usual failure mode."""
+
+
+class KVCorruptionError(RuntimeError):
+    """Integrity check failed: a live page's checksum no longer matches.
+
+    Carries the offending page ids in :attr:`pages` so the engine can map
+    corruption back to the sequences that reference those pages.
+    """
+
+    def __init__(self, message: str, pages: Sequence[int] = ()):
+        super().__init__(message)
+        self.pages = list(pages)
+
+
 class _SeqState:
     __slots__ = ("pages", "length")
 
@@ -45,7 +64,18 @@ class PagedKVCache:
         ``page_size=1`` gives the vector-sparse layout.
     num_kv_heads, head_dim:
         Shape of each slot's K and V entries.
+    checksums:
+        Verify per-page integrity on :meth:`gather`/:meth:`layout`
+        (raising :class:`KVCorruptionError` on mismatch).  The underlying
+        write-versioned checksum bookkeeping is always maintained — two
+        O(1) array writes per page write — so detection can also be driven
+        externally via :meth:`find_corrupted`; this flag only gates the
+        export-time verification.
     """
+
+    #: Optional fault injector (duck-typed :class:`repro.faults.FaultPlan`):
+    #: consulted on sequence-growth page allocations (``alloc`` site).
+    fault_injector = None
 
     def __init__(
         self,
@@ -54,6 +84,7 @@ class PagedKVCache:
         num_kv_heads: int,
         head_dim: int,
         materialize: bool = True,
+        checksums: bool = False,
     ):
         check_positive(num_pages, "num_pages")
         check_positive(page_size, "page_size")
@@ -77,6 +108,12 @@ class PagedKVCache:
         self._refcount = np.zeros(num_pages, dtype=np.int64)
         self._seqs: Dict[int, _SeqState] = {}
         self._next_seq_id = 0
+        self.checksums = checksums
+        # Write-versioned integrity state: every page write bumps the
+        # version and re-stamps the checksum; corruption bumps the version
+        # *without* re-stamping, so version != stamp ⇔ corrupted.
+        self._page_version = np.zeros(num_pages, dtype=np.int64)
+        self._page_stamp = np.zeros(num_pages, dtype=np.int64)
 
     # -- pool accounting -----------------------------------------------------
 
@@ -91,12 +128,62 @@ class PagedKVCache:
     def page_refcount(self, page: int) -> int:
         return int(self._refcount[page])
 
-    def _alloc_page(self) -> int:
+    def _stats_brief(self) -> str:
+        per_seq = sorted(
+            ((len(st.pages), sid) for sid, st in self._seqs.items()), reverse=True
+        )
+        largest = (
+            f", largest seq #{per_seq[0][1]} holds {per_seq[0][0]} pages"
+            if per_seq
+            else ""
+        )
+        return (
+            f"{self.num_free_pages} free / {self.num_pages} total pages "
+            f"({self.page_size} slots each), {len(self._seqs)} live "
+            f"sequences{largest}"
+        )
+
+    def pool_stats(self) -> Dict[str, object]:
+        """Pool state snapshot for diagnostics and error messages."""
+        per_seq = {sid: len(st.pages) for sid, st in self._seqs.items()}
+        return {
+            "num_pages": self.num_pages,
+            "page_size": self.page_size,
+            "free_pages": self.num_free_pages,
+            "used_pages": self.num_used_pages,
+            "num_seqs": len(per_seq),
+            "seq_pages": per_seq,
+            "max_seq_pages": max(per_seq.values(), default=0),
+            "shared_pages": int((self._refcount > 1).sum()),
+            "corrupted_pages": len(self.find_corrupted()),
+        }
+
+    def _alloc_page(self, inject: bool = False) -> int:
         if not self._free:
-            raise OutOfPagesError("KV-cache pool exhausted")
+            raise OutOfPagesError(
+                f"KV-cache pool exhausted: {self._stats_brief()}"
+            )
+        if inject and self.fault_injector is not None and self.fault_injector.fire("alloc"):
+            raise TransientAllocFault(
+                f"injected transient page-allocation failure "
+                f"({self._stats_brief()})"
+            )
         page = self._free.pop()
         self._refcount[page] = 1
+        if self._page_version[page] != self._page_stamp[page]:
+            # A freed corrupted page must not poison its next owner.
+            if self.materialized:
+                slot0 = page * self.page_size
+                self.k_pool[slot0 : slot0 + self.page_size] = 0.0
+                self.v_pool[slot0 : slot0 + self.page_size] = 0.0
+            self._page_version[page] = self._page_stamp[page] = 0
         return page
+
+    def _touch_page(self, page: int) -> None:
+        """Record a write: bump the version and re-stamp the checksum."""
+        v = self._page_version[page] + 1
+        self._page_version[page] = v
+        self._page_stamp[page] = v
 
     def _release_page(self, page: int) -> None:
         self._refcount[page] -= 1
@@ -162,6 +249,7 @@ class PagedKVCache:
                 s0, d0 = src * self.page_size, dst * self.page_size
                 self.k_pool[d0 : d0 + rem] = self.k_pool[s0 : s0 + rem]
                 self.v_pool[d0 : d0 + rem] = self.v_pool[s0 : s0 + rem]
+            self._touch_page(dst)
             new_st.pages.append(dst)
         self._seqs[new_id] = new_st
         return new_id
@@ -202,12 +290,12 @@ class PagedKVCache:
         while written < n:
             offset = st.length % self.page_size
             if offset == 0:
-                st.pages.append(self._alloc_page())
+                st.pages.append(self._alloc_page(inject=True))
             else:
                 page = st.pages[-1]
                 if self._refcount[page] > 1:
                     # Copy-on-write: unshare the partial page before writing.
-                    new_page = self._alloc_page()
+                    new_page = self._alloc_page(inject=True)
                     s0, d0 = page * self.page_size, new_page * self.page_size
                     self.k_pool[d0 : d0 + offset] = self.k_pool[s0 : s0 + offset]
                     self.v_pool[d0 : d0 + offset] = self.v_pool[s0 : s0 + offset]
@@ -218,6 +306,7 @@ class PagedKVCache:
             slot0 = page * self.page_size + st.length % self.page_size
             self.k_pool[slot0 : slot0 + take] = k[written : written + take]
             self.v_pool[slot0 : slot0 + take] = v[written : written + take]
+            self._touch_page(page)
             st.length += take
             written += take
 
@@ -235,11 +324,11 @@ class PagedKVCache:
         while remaining > 0:
             offset = st.length % self.page_size
             if offset == 0:
-                st.pages.append(self._alloc_page())
+                st.pages.append(self._alloc_page(inject=True))
             else:
                 page = st.pages[-1]
                 if self._refcount[page] > 1:
-                    new_page = self._alloc_page()
+                    new_page = self._alloc_page(inject=True)
                     if self.materialized:
                         s0, d0 = page * self.page_size, new_page * self.page_size
                         self.k_pool[d0 : d0 + offset] = self.k_pool[s0 : s0 + offset]
@@ -247,6 +336,7 @@ class PagedKVCache:
                     self._release_page(page)
                     st.pages[-1] = new_page
             take = min(remaining, self.page_size - st.length % self.page_size)
+            self._touch_page(st.pages[-1])
             st.length += take
             remaining -= take
 
@@ -267,6 +357,55 @@ class PagedKVCache:
         st.pages = st.pages[:keep_pages]
         st.length = new_len
 
+    # -- integrity -------------------------------------------------------------
+
+    def corrupt_page(self, page: int) -> None:
+        """Silently corrupt a live page (fault-plan ``corrupt`` site).
+
+        Bumps the page's write version without re-stamping its checksum;
+        in materialized mode the page's K/V slots are also overwritten
+        with NaN so numeric guards can observe the damage.
+        """
+        if self._refcount[page] <= 0:
+            raise ValueError(f"page {page} is not live")
+        self._page_version[page] += 1
+        if self.materialized:
+            slot0 = page * self.page_size
+            self.k_pool[slot0 : slot0 + self.page_size] = np.nan
+            self.v_pool[slot0 : slot0 + self.page_size] = np.nan
+
+    def page_is_corrupt(self, page: int) -> bool:
+        return bool(self._page_version[page] != self._page_stamp[page])
+
+    def seq_is_corrupt(self, seq_id: int) -> bool:
+        """True if any page of ``seq_id`` fails its checksum."""
+        st = self._state(seq_id)
+        if not st.pages:
+            return False
+        idx = np.asarray(st.pages, dtype=np.int64)
+        return bool((self._page_version[idx] != self._page_stamp[idx]).any())
+
+    def find_corrupted(self) -> List[int]:
+        """All live pages whose checksum no longer matches."""
+        bad = (self._refcount > 0) & (self._page_version != self._page_stamp)
+        return np.nonzero(bad)[0].tolist()
+
+    def used_pages(self) -> List[int]:
+        """All live (refcount > 0) page ids."""
+        return np.nonzero(self._refcount > 0)[0].tolist()
+
+    def _verify_pages(self, pages: Sequence[int], context: str) -> None:
+        if not pages:
+            return
+        idx = np.asarray(pages, dtype=np.int64)
+        bad = idx[self._page_version[idx] != self._page_stamp[idx]]
+        if bad.size:
+            raise KVCorruptionError(
+                f"KV page checksum mismatch on {context}: "
+                f"pages {bad.tolist()} were modified outside append/extend",
+                pages=bad.tolist(),
+            )
+
     def seq_len(self, seq_id: int) -> int:
         return self._state(seq_id).length
 
@@ -278,6 +417,8 @@ class PagedKVCache:
         if not self.materialized:
             raise RuntimeError("gather() requires a materialized cache")
         st = self._state(seq_id)
+        if self.checksums:
+            self._verify_pages(st.pages, f"gather(seq {seq_id})")
         slots = self._slot_indices(st)
         return self.k_pool[slots], self.v_pool[slots]
 
@@ -300,6 +441,8 @@ class PagedKVCache:
             indices.extend(st.pages)
             indptr[i + 1] = indptr[i] + len(st.pages)
             kv_lens[i] = st.length
+        if self.checksums:
+            self._verify_pages(indices, f"layout({list(seq_ids)})")
         return BlockSparseKV(
             self.page_size,
             self.num_pages,

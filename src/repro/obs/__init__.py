@@ -13,8 +13,10 @@ See ``docs/ARCHITECTURE.md`` ("Observability") for the event schema.
 """
 
 from repro.obs.events import (
+    FAULT_ACTIONS,
     STEP_COMPONENTS,
     STEP_KINDS,
+    FaultEvent,
     KernelRecord,
     StepEvent,
     validate_event,
@@ -29,8 +31,10 @@ from repro.obs.export import (
 from repro.obs.tracer import RollingHistogram, StepTracer
 
 __all__ = [
+    "FAULT_ACTIONS",
     "STEP_COMPONENTS",
     "STEP_KINDS",
+    "FaultEvent",
     "KernelRecord",
     "StepEvent",
     "validate_event",

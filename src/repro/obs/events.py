@@ -95,6 +95,9 @@ class StepEvent:
     preemptions: int = 0  #: streams evicted while making room for this step
     prefix_cache_hits: int = 0  #: prompts that reused cached prefix pages
     kernels: List[KernelRecord] = field(default_factory=list)
+    #: Step ran on the degraded (dense-baseline) backend after repeated
+    #: kernel faults; always ``False`` outside resilience runs.
+    degraded: bool = False
 
     @property
     def duration(self) -> float:
@@ -122,10 +125,50 @@ class StepEvent:
             "preemptions": self.preemptions,
             "prefix_cache_hits": self.prefix_cache_hits,
         }
+        if self.degraded:
+            # Only resilience runs carry the key: plain-run exports are
+            # byte-identical with and without the fault layer compiled in.
+            d["degraded"] = True
         for comp in STEP_COMPONENTS:
             d[comp] = self.breakdown.get(comp, 0.0)
         d["kernels"] = [k.to_dict() for k in self.kernels]
         return d
+
+
+#: Actions a :class:`FaultEvent` may record.  ``injected`` events come
+#: from the fault plan; every one must be matched by a detection /
+#: recovery / shed event for a chaos run to be token-exact.
+FAULT_ACTIONS: Tuple[str, ...] = (
+    "injected", "detected", "retry", "shed", "degraded", "annealed", "flagged",
+)
+
+
+@dataclass
+class FaultEvent:
+    """One fault-related occurrence on the simulated clock.
+
+    ``site`` names the injection/detection site (``kernel``, ``corrupt``,
+    ``alloc``, ``straggler``, ``numeric``, ``checksum``, ``watchdog``,
+    ``deadline``, ``overload``, ``retries``, ``backend``); ``action`` is
+    one of :data:`FAULT_ACTIONS`.
+    """
+
+    site: str
+    action: str
+    t: float  #: simulated seconds since run start
+    step_index: int = -1  #: engine step during which this occurred
+    req_id: int = -1  #: affected request index (-1 = not request-scoped)
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "t": self.t,
+            "step_index": self.step_index,
+            "req_id": self.req_id,
+            "detail": self.detail,
+        }
 
 
 def validate_event(event: StepEvent) -> None:

@@ -17,7 +17,7 @@ import io
 import json
 from typing import Dict, List, Optional, Sequence
 
-from repro.obs.events import STEP_COMPONENTS, StepEvent
+from repro.obs.events import STEP_COMPONENTS, FaultEvent, StepEvent
 from repro.obs.tracer import StepTracer
 
 _PID = 1
@@ -36,9 +36,15 @@ def _meta(name: str, tid: Optional[int], label: str) -> Dict[str, object]:
 
 
 def to_chrome_trace(
-    events: Sequence[StepEvent], metadata: Optional[Dict[str, object]] = None
+    events: Sequence[StepEvent],
+    metadata: Optional[Dict[str, object]] = None,
+    fault_events: Optional[Sequence[FaultEvent]] = None,
 ) -> Dict[str, object]:
-    """Convert step events to a ``chrome://tracing`` JSON object."""
+    """Convert step events to a ``chrome://tracing`` JSON object.
+
+    ``fault_events`` (from a chaos run's tracer) are rendered as instant
+    markers on the step track; omitted, the output is unchanged.
+    """
     trace: List[Dict[str, object]] = [
         _meta("process_name", None, "repro serving engine"),
         _meta("thread_name", _TID_STEPS, "steps"),
@@ -104,6 +110,17 @@ def to_chrome_trace(
             "args": {"streams": ev.num_streams},
         })
 
+    for fev in fault_events or ():
+        trace.append({
+            "ph": "i", "pid": _PID, "tid": _TID_STEPS, "ts": fev.t * _US,
+            "name": f"{fev.site}:{fev.action}", "cat": "fault", "s": "t",
+            "args": {
+                "step": fev.step_index,
+                "req_id": fev.req_id,
+                "detail": fev.detail,
+            },
+        })
+
     out: Dict[str, object] = {
         "traceEvents": trace,
         "displayTimeUnit": "ms",
@@ -117,10 +134,11 @@ def write_chrome_trace(
     path: str,
     events: Sequence[StepEvent],
     metadata: Optional[Dict[str, object]] = None,
+    fault_events: Optional[Sequence[FaultEvent]] = None,
 ) -> None:
     """Serialize :func:`to_chrome_trace` to ``path``."""
     with open(path, "w") as f:
-        json.dump(to_chrome_trace(events, metadata), f)
+        json.dump(to_chrome_trace(events, metadata, fault_events), f)
 
 
 _CSV_FIELDS = (

@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
-from repro.obs.events import STEP_COMPONENTS, KernelRecord, StepEvent
+from repro.obs.events import STEP_COMPONENTS, FaultEvent, KernelRecord, StepEvent
 
 
 class RollingHistogram:
@@ -117,6 +117,10 @@ class StepTracer:
         self.num_kernels = 0
         self.step_hist = RollingHistogram()
         self.decode_step_hist = RollingHistogram()
+        # -- fault/resilience state (all zero/empty outside chaos runs) ------
+        self.fault_events: List[FaultEvent] = []
+        self.fault_counts: Dict[str, int] = {}
+        self.total_degraded_steps = 0
 
     # -- recording ------------------------------------------------------------
 
@@ -147,6 +151,15 @@ class StepTracer:
         self.step_hist.add(dur)
         if event.kind == "decode":
             self.decode_step_hist.add(dur)
+        if event.degraded:
+            self.total_degraded_steps += 1
+
+    def on_fault(self, event: FaultEvent) -> None:
+        """Fold one fault/recovery event (kept when ``keep_events``)."""
+        if self.keep_events:
+            self.fault_events.append(event)
+        key = f"{event.site}:{event.action}"
+        self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
 
     def record_kernel(self, record: KernelRecord) -> None:
         """Record a kernel execution outside the engine step loop (the
@@ -181,6 +194,13 @@ class StepTracer:
         if self.step_hist.total:
             out["step_p50"] = self.step_hist.quantile(0.5)
             out["step_p99"] = self.step_hist.quantile(0.99)
+        # Fault counters appear only when fault activity occurred, so a
+        # fault-free run's counter dict is bit-identical to pre-resilience
+        # behaviour.
+        if self.fault_counts or self.total_degraded_steps:
+            out["degraded_steps"] = float(self.total_degraded_steps)
+            for key, n in sorted(self.fault_counts.items()):
+                out[f"fault_{key.replace(':', '_')}"] = float(n)
         return out
 
     def component_shares(self) -> Dict[str, float]:

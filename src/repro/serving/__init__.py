@@ -5,6 +5,9 @@ constant and vary only the attention backend; see
 :class:`repro.serving.engine.ServingEngine`.
 """
 
+# Re-exported for convenience: the ServingEngine constructor accepts these
+# directly (``fault_plan=``, ``resilience=``).
+from repro.faults import FaultPlan, ResilienceConfig, chaos_plan
 from repro.serving.backends import (
     AttentionBackend,
     BackendCharacteristics,
@@ -33,6 +36,9 @@ from repro.serving.workload import (
 )
 
 __all__ = [
+    "FaultPlan",
+    "ResilienceConfig",
+    "chaos_plan",
     "AttentionBackend",
     "BackendCharacteristics",
     "FlashInferBackend",

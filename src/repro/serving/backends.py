@@ -59,6 +59,15 @@ class AttentionBackend:
     #: :meth:`pop_kernel_reports`.  Off by default — the untraced step loop
     #: pays nothing.
     collect_kernel_reports: bool = False
+    #: Attached fault plan (see :meth:`set_fault_injector`); ``None`` keeps
+    #: every simulated launch exactly as before.
+    fault_injector = None
+
+    def set_fault_injector(self, injector) -> None:
+        """Attach (or detach, with ``None``) a duck-typed
+        :class:`repro.faults.FaultPlan`; backends thread it into their
+        simulated-kernel executors so launches can fail or straggle."""
+        self.fault_injector = injector
 
     def attention_time(
         self, formats: "ComposableFormat | AttentionMapping", decode: bool
@@ -122,6 +131,14 @@ class FlashInferBackend(AttentionBackend):
         self._wrappers: Dict[str, BatchAttentionWrapper] = {}
         self._composable_wrappers: Dict[str, ComposableAttentionWrapper] = {}
 
+    def set_fault_injector(self, injector) -> None:
+        self.fault_injector = injector
+        for w in self._wrappers.values():
+            w.executor.fault_injector = injector
+        for cw in self._composable_wrappers.values():
+            for sub in cw.wrappers:
+                sub.executor.fault_injector = injector
+
     def _single_wrapper(self, decode: bool) -> BatchAttentionWrapper:
         key = "decode" if decode else "prefill"
         if key not in self._wrappers:
@@ -134,6 +151,7 @@ class FlashInferBackend(AttentionBackend):
                 name=f"fi_{key}",
                 **self._bounds,
             )
+            self._wrappers[key].executor.fault_injector = self.fault_injector
         return self._wrappers[key]
 
     def attention_time(self, formats, decode: bool) -> float:
@@ -190,6 +208,10 @@ class TritonBackend(AttentionBackend):
         )
         self._fa = FlashAttentionBaseline(heads, gpu, version="fa2", cost_model=cost)
 
+    def set_fault_injector(self, injector) -> None:
+        self.fault_injector = injector
+        self._fa.executor.fault_injector = injector
+
     def attention_time(self, formats, decode: bool) -> float:
         mapping = self._flatten(formats)
         _, report = self._fa.run(mapping, decode=decode, sparse_gather=True)
@@ -220,6 +242,10 @@ class TRTLLMBackend(AttentionBackend):
             uses_cudagraph=True,
         )
         self._inner = FlashInferBackend(heads, gpu, workspace_bytes)
+
+    def set_fault_injector(self, injector) -> None:
+        self.fault_injector = injector
+        self._inner.set_fault_injector(injector)
 
     def attention_time(self, formats, decode: bool) -> float:
         mapping = TritonBackend._flatten(formats)

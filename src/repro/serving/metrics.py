@@ -23,6 +23,18 @@ class RequestTrace:
     arrival: float
     first_token_time: float
     token_times: List[float] = field(default_factory=list)
+    #: Request index within the run's (arrival-sorted) request list and
+    #: generation index within the request (the "n" parameter); -1/0 for
+    #: callers that construct traces directly.
+    req_id: int = -1
+    gen_index: int = 0
+    #: ``"ok"`` or ``"shed"``; shed traces carry the reason in
+    #: :attr:`outcome_reason` (``deadline`` / ``overload`` / ``retries``).
+    outcome: str = "ok"
+    outcome_reason: str = ""
+    #: Deterministic token ids, recorded only when the engine runs with
+    #: ``ResilienceConfig.record_tokens`` (token-exactness checks).
+    tokens: Optional[List[int]] = None
 
     @property
     def ttft(self) -> float:
@@ -46,10 +58,26 @@ class ServingMetrics:
     #: (step counts by kind, per-component time totals, step-latency
     #: percentiles); attached by the engine when tracing is enabled.
     step_stats: Optional[Dict[str, float]] = None
+    #: Streams shed by deadline/overload/retry-exhaustion (``outcome ==
+    #: "shed"``); their partial tokens do not count toward throughput.
+    shed_traces: List[RequestTrace] = field(default_factory=list)
+    #: Fault/recovery counters (``faults_injected``, ``retries``, ``sheds``,
+    #: ``degraded_steps``, ``checksum_failures``, …); attached by the engine
+    #: only on resilience runs so a plain run's summary is unchanged.
+    fault_stats: Optional[Dict[str, float]] = None
 
     def add(self, trace: RequestTrace) -> None:
         self.traces.append(trace)
         self.total_output_tokens += 1 + len(trace.token_times)
+
+    def shed(self, trace: RequestTrace) -> None:
+        """Record a stream that was shed before completing."""
+        trace.outcome = "shed"
+        self.shed_traces.append(trace)
+
+    @property
+    def sheds(self) -> int:
+        return len(self.shed_traces)
 
     @property
     def ttfts(self) -> np.ndarray:
@@ -92,4 +120,11 @@ class ServingMetrics:
         if self.step_stats:
             for key, value in self.step_stats.items():
                 out[f"obs_{key}"] = value
+        if self.fault_stats is not None:
+            out.update(self.fault_stats)
+            # Per-request shed records: which stream was shed, and when.
+            for trace in self.shed_traces:
+                out[f"shed_req_{trace.req_id}_{trace.gen_index}"] = float(
+                    len(trace.token_times)
+                )
         return out

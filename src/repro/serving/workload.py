@@ -39,6 +39,10 @@ class Request:
     n: int = 1  # parallel generations (the OpenAI "n" parameter, §4.4)
     prefix_group: Optional[int] = None
     prefix_len: int = 0
+    #: Relative deadline (seconds after arrival) after which the engine may
+    #: shed this request; ``None`` falls back to the engine-wide
+    #: ``ResilienceConfig.deadline`` (which may also be ``None``: no limit).
+    deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0 or self.n <= 0:
@@ -47,6 +51,8 @@ class Request:
             raise ValueError("prefix_len must be in [0, prompt_len]")
         if self.prefix_len and self.prefix_group is None:
             raise ValueError("prefix_len requires a prefix_group")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
 
 
 def poisson_arrivals(num_requests: int, rate: float, rng: np.random.Generator) -> np.ndarray:

@@ -1,0 +1,109 @@
+"""Tests for the pool_num_pages deprecation policy on the paged wrappers.
+
+The argument is inferred from the page table since the API redesign; an
+explicit value warns exactly once per wrapper instance, and a value that
+contradicts the page table raises instead of silently under-sizing.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BatchDecodeWithPagedKVCacheWrapper,
+    BatchPrefillWithPagedKVCacheWrapper,
+)
+from repro.gpu import WorkspaceBuffer
+from repro.kvcache import PagedKVCache
+
+
+def build_cache(kv_lens, rng, page_size=16):
+    cache = PagedKVCache(256, page_size, 2, 32)
+    seqs = []
+    for n in kv_lens:
+        sid = cache.new_seq()
+        cache.append(sid, rng.standard_normal((n, 2, 32)),
+                     rng.standard_normal((n, 2, 32)))
+        seqs.append(sid)
+    layout = cache.layout(seqs)
+    last = np.asarray(
+        [n - (len(cache.seq_pages(s)) - 1) * page_size
+         for n, s in zip(kv_lens, seqs)]
+    )
+    return cache, layout, last
+
+
+def decode_wrapper():
+    return BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
+
+
+def caught(wrapper, layout, last, pool):
+    with warnings.catch_warnings(record=True) as rec:
+        warnings.simplefilter("always")
+        wrapper.plan(layout.indptr, layout.indices, last, pool)
+    return [w for w in rec if issubclass(w.category, DeprecationWarning)]
+
+
+class TestWarnOncePerWrapper:
+    def test_second_plan_does_not_rewarn(self, rng):
+        cache, layout, last = build_cache([40], rng)
+        w = decode_wrapper()
+        assert len(caught(w, layout, last, cache.num_pages)) == 1
+        assert len(caught(w, layout, last, cache.num_pages)) == 0
+
+    def test_fresh_wrapper_warns_again(self, rng):
+        cache, layout, last = build_cache([40], rng)
+        assert len(caught(decode_wrapper(), layout, last, cache.num_pages)) == 1
+        assert len(caught(decode_wrapper(), layout, last, cache.num_pages)) == 1
+
+    def test_prefill_wrapper_warns_once_too(self, rng):
+        cache, layout, last = build_cache([50], rng)
+        w = BatchPrefillWithPagedKVCacheWrapper(
+            WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=5
+        )
+        qo_indptr = np.array([0, 5])
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            w.plan(qo_indptr, layout.indptr, layout.indices, last, cache.num_pages)
+            w.plan(qo_indptr, layout.indptr, layout.indices, last, cache.num_pages)
+        assert sum(issubclass(r.category, DeprecationWarning) for r in rec) == 1
+
+    def test_inferred_plan_never_warns(self, rng):
+        cache, layout, last = build_cache([40], rng)
+        w = decode_wrapper()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            w.plan(layout.indptr, layout.indices, last)
+            w.plan(layout.indptr, layout.indices, last)
+
+
+class TestMismatchRejected:
+    def test_pool_smaller_than_page_table_raises(self, rng):
+        cache, layout, last = build_cache([40, 111], rng)
+        w = decode_wrapper()
+        too_small = int(layout.indices.max())  # one short of required
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError, match="contradicts the page table"):
+                w.plan(layout.indptr, layout.indices, last, too_small)
+
+    def test_larger_pool_value_accepted(self, rng):
+        """Oversized explicit values are legal (deprecated but harmless)."""
+        cache, layout, last = build_cache([40], rng)
+        w = decode_wrapper()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            w.plan(layout.indptr, layout.indices, last, cache.num_pages * 2)
+
+    def test_rejection_still_warns_first(self, rng):
+        """Even a rejected plan() burns the one-time warning: the caller
+        sees both signals on the first bad call."""
+        cache, layout, last = build_cache([40, 111], rng)
+        w = decode_wrapper()
+        too_small = int(layout.indices.max())
+        with warnings.catch_warnings(record=True) as rec:
+            warnings.simplefilter("always")
+            with pytest.raises(ValueError):
+                w.plan(layout.indptr, layout.indices, last, too_small)
+        assert sum(issubclass(r.category, DeprecationWarning) for r in rec) == 1

@@ -1,0 +1,110 @@
+"""Tests for the deterministic fault plan (repro.faults.plan)."""
+
+import pytest
+
+from repro.faults import FAULT_SITES, FaultPlan, chaos_plan
+
+
+def fire_pattern(plan, site, n):
+    return [plan.fire(site) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_pattern(self):
+        a = FaultPlan(seed=11, kernel_fault_rate=0.3)
+        b = FaultPlan(seed=11, kernel_fault_rate=0.3)
+        assert fire_pattern(a, "kernel", 200) == fire_pattern(b, "kernel", 200)
+
+    def test_different_seed_different_pattern(self):
+        a = FaultPlan(seed=11, kernel_fault_rate=0.3)
+        b = FaultPlan(seed=12, kernel_fault_rate=0.3)
+        assert fire_pattern(a, "kernel", 200) != fire_pattern(b, "kernel", 200)
+
+    def test_reset_replays_identical_schedule(self):
+        plan = FaultPlan(seed=3, corruption_rate=0.25)
+        first = fire_pattern(plan, "corrupt", 100)
+        plan.reset()
+        assert fire_pattern(plan, "corrupt", 100) == first
+        assert plan.consultations("corrupt") == 100
+
+    def test_sites_are_independent_streams(self):
+        """Drawing at one site must not perturb another site's sequence."""
+        solo = FaultPlan(seed=5, kernel_fault_rate=0.3)
+        interleaved = FaultPlan(
+            seed=5, kernel_fault_rate=0.3, alloc_fault_rate=0.4, corruption_rate=0.2
+        )
+        expected = fire_pattern(solo, "kernel", 100)
+        got = []
+        for _ in range(100):
+            interleaved.fire("alloc")
+            got.append(interleaved.fire("kernel"))
+            interleaved.fire("corrupt")
+        assert got == expected
+
+    def test_fire_is_pure_function_of_call_index(self):
+        """Firing depends only on (seed, call index) — raising another
+        site's rate does not move this site's hits."""
+        a = FaultPlan(seed=9, kernel_fault_rate=0.2)
+        b = FaultPlan(seed=9, kernel_fault_rate=0.2, straggler_rate=0.5)
+        assert fire_pattern(a, "kernel", 300) == fire_pattern(b, "kernel", 300)
+
+
+class TestSchedules:
+    def test_scheduled_indices_always_fire(self):
+        plan = FaultPlan(seed=0, schedules={"kernel": [0, 3]})
+        assert fire_pattern(plan, "kernel", 5) == [True, False, False, True, False]
+
+    def test_schedule_combines_with_rate(self):
+        plan = FaultPlan(seed=0, kernel_fault_rate=0.3, schedules={"kernel": [7]})
+        hits = fire_pattern(plan, "kernel", 20)
+        assert hits[7] is True
+        # Rate hits still occur besides the scheduled one.
+        assert sum(hits) > 1
+
+    def test_unknown_site_in_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan(schedules={"cosmic_ray": [0]})
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [1.0, 1.5, -0.1])
+    def test_rates_must_be_in_unit_interval_open(self, rate):
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            FaultPlan(kernel_fault_rate=rate)
+
+    def test_straggler_factor_must_be_at_least_one(self):
+        with pytest.raises(ValueError, match="straggler_factor"):
+            FaultPlan(straggler_factor=0.5)
+
+    def test_choose_requires_positive_n(self):
+        with pytest.raises(ValueError):
+            FaultPlan().choose("kernel", 0)
+
+    def test_choose_in_range(self):
+        plan = FaultPlan(seed=1)
+        assert all(0 <= plan.choose("corrupt", 7) < 7 for _ in range(50))
+
+
+class TestIntrospection:
+    def test_counters(self):
+        plan = FaultPlan(seed=2, alloc_fault_rate=0.5)
+        hits = sum(fire_pattern(plan, "alloc", 200))
+        assert plan.consultations("alloc") == 200
+        assert plan.injected["alloc"] == hits
+        assert plan.total_injected == hits
+        assert hits > 0
+
+    def test_enabled(self):
+        assert not FaultPlan().enabled
+        assert FaultPlan(kernel_fault_rate=0.1).enabled
+        assert FaultPlan(schedules={"corrupt": [4]}).enabled
+
+    def test_all_sites_present(self):
+        plan = FaultPlan()
+        assert set(plan.injected) == set(FAULT_SITES)
+
+    def test_chaos_plan_meets_acceptance_rates(self):
+        plan = chaos_plan(seed=7)
+        assert plan._rates["kernel"] >= 0.05
+        assert plan._rates["corrupt"] >= 0.01
+        assert plan.enabled
