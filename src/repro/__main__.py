@@ -104,7 +104,8 @@ def _cmd_serve(args) -> int:
 
             tracer = StepTracer()
         engine = ServingEngine(
-            model, backend, H100_80G, EngineConfig(max_running=256), tracer=tracer
+            model, backend, H100_80G,
+            EngineConfig(max_running=256, policy=args.policy), tracer=tracer,
         )
         s = engine.run(requests).summary()
         print(
@@ -139,7 +140,7 @@ def _serve_chaos(args, model, heads, requests) -> int:
     from repro.serving import EngineConfig, FlashInferBackend, ServingEngine
 
     resil = ResilienceConfig(deadline=args.deadline, max_retries=args.max_retries)
-    cfg = EngineConfig(max_running=256)
+    cfg = EngineConfig(max_running=256, policy=args.policy)
 
     baseline = ServingEngine(
         model, FlashInferBackend(heads, H100_80G), H100_80G, cfg, resilience=resil
@@ -236,6 +237,12 @@ def main(argv=None) -> int:
     serve.add_argument("--requests", type=int, default=40)
     serve.add_argument("--rate", type=float, default=60.0)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--policy", default="fcfs",
+        help="scheduling policy for the admitted prefill queue: fcfs "
+        "(default, token-exact with the classic engine), priority, "
+        "sla-aware, or any registered policy name",
+    )
     serve.add_argument(
         "--trace", metavar="OUT.json", default=None,
         help="record a step-level trace of the FlashInfer run and write "

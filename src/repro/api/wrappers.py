@@ -168,6 +168,7 @@ class BatchDecodeWithPagedKVCacheWrapper(_WrapperBase):
         kv_dtype: StorageDType = StorageDType.FP16,
         max_batch_size: Optional[int] = None,
         tracer: Optional[StepTracer] = None,
+        plan_cache=None,
     ):
         super().__init__(tracer)
         self.page_size = page_size
@@ -178,6 +179,7 @@ class BatchDecodeWithPagedKVCacheWrapper(_WrapperBase):
             max_batch_size=max_batch_size,
             max_total_qo=max_batch_size,
         )
+        self._inner.plan_cache = plan_cache
 
     def plan(
         self,
@@ -242,6 +244,7 @@ class BatchPrefillWithPagedKVCacheWrapper(_WrapperBase):
         max_batch_size: Optional[int] = None,
         max_total_qo: Optional[int] = None,
         tracer: Optional[StepTracer] = None,
+        plan_cache=None,
     ):
         super().__init__(tracer)
         self.page_size = page_size
@@ -251,6 +254,7 @@ class BatchPrefillWithPagedKVCacheWrapper(_WrapperBase):
             avg_qo_len=avg_qo_len, kv_dtype=kv_dtype,
             max_batch_size=max_batch_size, max_total_qo=max_total_qo,
         )
+        self._inner.plan_cache = plan_cache
 
     def plan(
         self,
@@ -309,6 +313,7 @@ class BatchPrefillWithRaggedKVCacheWrapper(_WrapperBase):
         max_batch_size: Optional[int] = None,
         max_total_qo: Optional[int] = None,
         tracer: Optional[StepTracer] = None,
+        plan_cache=None,
     ):
         super().__init__(tracer)
         self.heads = HeadConfig(num_qo_heads, num_kv_heads, head_dim)
@@ -317,6 +322,7 @@ class BatchPrefillWithRaggedKVCacheWrapper(_WrapperBase):
             avg_qo_len=avg_qo_len, kv_dtype=kv_dtype, sparse_gather=False,
             max_batch_size=max_batch_size, max_total_qo=max_total_qo,
         )
+        self._inner.plan_cache = plan_cache
 
     def plan(
         self,

@@ -8,6 +8,7 @@ from repro.core.scheduler import (
     SchedulePlan,
     WorkItem,
     plan_schedule,
+    plan_signature,
     plan_unbalanced,
 )
 from repro.core.composition import contract_entry, contraction_cost, distribute_merges
@@ -33,6 +34,7 @@ __all__ = [
     "SchedulePlan",
     "WorkItem",
     "plan_schedule",
+    "plan_signature",
     "plan_unbalanced",
     "contract_entry",
     "contraction_cost",

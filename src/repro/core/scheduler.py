@@ -229,6 +229,46 @@ def plan_schedule(
     )
 
 
+def plan_signature(
+    qo_lens: Sequence[int],
+    kv_lens: Sequence[int],
+    q_tile_size: int,
+    num_ctas: int,
+    num_kv_heads: int = 1,
+    mapping_idx: int = 0,
+    alpha: float = DEFAULT_ALPHA,
+    beta: float = DEFAULT_BETA,
+    min_kv_chunk: int = 64,
+    chunk_granularity: int = 64,
+    split_kv: bool = True,
+    causal: bool = False,
+    q_pos_offset: Optional[Sequence[int]] = None,
+    kv_pos_offset: Optional[Sequence[int]] = None,
+) -> Tuple:
+    """Hashable key over every :func:`plan_schedule` input.
+
+    Two calls with equal signatures produce identical
+    :class:`SchedulePlan` objects (the scheduler is deterministic), which
+    is what lets a plan cache (§3.3.1: the plan is reusable across layers
+    with the same sequence lengths) substitute a cached plan without any
+    behavioral difference.  Exact per-group lengths are captured — not a
+    bucketed shape class — so a hit can never return a merely-similar
+    plan.
+    """
+
+    def _bytes(arr) -> Optional[bytes]:
+        if arr is None:
+            return None
+        return np.ascontiguousarray(np.asarray(arr, dtype=np.int64)).tobytes()
+
+    return (
+        _bytes(qo_lens), _bytes(kv_lens), int(q_tile_size), int(num_ctas),
+        int(num_kv_heads), int(mapping_idx), float(alpha), float(beta),
+        int(min_kv_chunk), int(chunk_granularity), bool(split_kv), bool(causal),
+        _bytes(q_pos_offset), _bytes(kv_pos_offset),
+    )
+
+
 def plan_unbalanced(
     qo_lens: Sequence[int],
     kv_lens: Sequence[int],

@@ -30,7 +30,7 @@ summation (FlashSigmoid support).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import SimpleNamespace
 from typing import Any, Dict, Mapping, Optional, Tuple
 

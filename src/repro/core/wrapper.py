@@ -28,7 +28,13 @@ from repro.core.kernels import (
     HeadConfig,
     run_mapping,
 )
-from repro.core.scheduler import MergeEntry, SchedulePlan, WorkItem, plan_schedule
+from repro.core.scheduler import (
+    MergeEntry,
+    SchedulePlan,
+    WorkItem,
+    plan_schedule,
+    plan_signature,
+)
 from repro.core.tiles import ctas_per_sm, select_kv_tile, select_q_tile
 from repro.core.variant import AttentionVariant
 from repro.gpu.cost import KernelCostModel, TileCost
@@ -167,6 +173,11 @@ class BatchAttentionWrapper:
         #: (raising ``NumericalFault`` on NaN/Inf).  ``None`` costs one
         #: attribute check.
         self.output_guard = None
+        #: Optional duck-typed :class:`repro.serving.PlanCache`; when set,
+        #: :meth:`plan` consults it before recomputing the CPU schedule.
+        #: The signature captures every scheduler input, so a hit returns a
+        #: plan identical to the one it replaces (§3.3.1).
+        self.plan_cache = None
 
     # -- workspace layout ---------------------------------------------------
 
@@ -223,18 +234,37 @@ class BatchAttentionWrapper:
         heads_dim = (
             self.heads.num_kv_heads if self.fuse_head_groups else self.heads.num_qo_heads
         )
-        plan = plan_schedule(
-            mapping.qo_lens,
-            mapping.kv.kv_lens,
-            self._sched_q_tile,
-            self.num_ctas,
-            num_kv_heads=heads_dim,
-            chunk_granularity=self.kv_tile,
-            split_kv=self.split_kv,
-            causal=mapping.causal,
-            q_pos_offset=mapping.q_pos_offset,
-            kv_pos_offset=mapping.kv_pos_offset,
-        )
+        cache = self.plan_cache
+        plan = None
+        if cache is not None:
+            key = plan_signature(
+                mapping.qo_lens,
+                mapping.kv.kv_lens,
+                self._sched_q_tile,
+                self.num_ctas,
+                num_kv_heads=heads_dim,
+                chunk_granularity=self.kv_tile,
+                split_kv=self.split_kv,
+                causal=mapping.causal,
+                q_pos_offset=mapping.q_pos_offset,
+                kv_pos_offset=mapping.kv_pos_offset,
+            )
+            plan = cache.get(key)
+        if plan is None:
+            plan = plan_schedule(
+                mapping.qo_lens,
+                mapping.kv.kv_lens,
+                self._sched_q_tile,
+                self.num_ctas,
+                num_kv_heads=heads_dim,
+                chunk_granularity=self.kv_tile,
+                split_kv=self.split_kv,
+                causal=mapping.causal,
+                q_pos_offset=mapping.q_pos_offset,
+                kv_pos_offset=mapping.kv_pos_offset,
+            )
+            if cache is not None:
+                cache.put(key, plan)
         self._ensure_sections(mapping.num_groups, mapping.total_qo)
         if plan.num_partial_slots > self._max_slots:
             raise ValueError(
@@ -511,6 +541,8 @@ class ComposableAttentionWrapper:
         self.wrappers: List[BatchAttentionWrapper] = []
         self._format: Optional[ComposableFormat] = None
         self.last_report: Optional[SimReport] = None
+        #: Shared plan memo, propagated to each per-format wrapper.
+        self.plan_cache = None
 
     def plan(
         self,
@@ -542,6 +574,7 @@ class ComposableAttentionWrapper:
                         **self._kwargs,
                     )
                 )
+                self.wrappers[-1].plan_cache = self.plan_cache
         for w, m in zip(self.wrappers, formats):
             w.plan(m, params=params, sm_scale=sm_scale)
         self._format = formats

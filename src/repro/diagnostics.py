@@ -8,7 +8,7 @@ examples and the CLI (``python -m repro``).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

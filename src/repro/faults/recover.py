@@ -115,3 +115,113 @@ class DegradeController:
         else:
             self._fault_strikes = 0
         return False
+
+
+class KVScrubber:
+    """KV-integrity interception points around each engine step.
+
+    Two hooks, both no-ops without an attached fault plan / checksums:
+
+    * :meth:`scrub` — top of step, *before* any extend/COW can copy a
+      corrupted page: detect corrupted pages and roll their owners back.
+    * :meth:`inject` — end of step: corrupt one live page from the fault
+      plan's ``corrupt`` RNG stream for the next scrub to find.
+
+    Duck-typed against the engine pipeline (``engine`` for counters and
+    fault events, ``state`` for queues/cache, ``admission`` for shedding
+    and retry budgets) so the faults layer does not import serving.
+    """
+
+    def __init__(self, engine, state, admission):
+        self.engine = engine
+        self.state = state
+        self.admission = admission
+
+    def scrub(self, t: float) -> None:
+        """Detect corrupted pages and roll their owners back.
+
+        A stream holding one is truncated to its last verified page
+        boundary and re-prefills the rest (recompute) through the
+        preemption machinery; cached prefixes are evicted; partial
+        prefills restart.  Per-stream retries are bounded; exceeding the
+        bound sheds the stream.
+        """
+        eng, st, adm = self.engine, self.state, self.admission
+        cache, requests = st.cache, st.requests
+        bad = cache.find_corrupted()
+        if not bad:
+            return
+        bad_set = set(bad)
+        resil = eng.resilience
+        eng._count("checksum_failures", len(bad))
+        eng._fault_event("corrupt", "detected", t, detail=f"pages {bad}")
+        for group, (pages, _length) in list(st.prefix_registry.items()):
+            if bad_set.intersection(pages):
+                cache.release_pages(pages)
+                del st.prefix_registry[group]
+        for pp in [p for p in st.prefilling if bad_set.intersection(cache.seq_pages(p.seq_id))]:
+            st.prefilling.remove(pp)
+            cache.free_seq(pp.seq_id)
+            req = requests[pp.req_idx]
+            n_retry = adm.prefill_retries.get(pp.req_idx, 0) + 1
+            adm.prefill_retries[pp.req_idx] = n_retry
+            if n_retry > resil.max_retries:
+                adm.shed_request(req, pp.req_idx, t, "retries")
+            else:
+                eng._count("retries")
+                eng._fault_event("corrupt", "retry", t, req_id=pp.req_idx,
+                                 detail="partial prefill restarted")
+                st.prefill_queue.appendleft(pp.req_idx)
+        for s in [s for s in st.streams if bad_set.intersection(cache.seq_pages(s.seq_id))]:
+            st.streams.remove(s)
+            self._rollback_stream(s, bad_set, t)
+        for s in [
+            s for s in st.preempted
+            if s.seq_id >= 0 and bad_set.intersection(cache.seq_pages(s.seq_id))
+        ]:
+            st.preempted.remove(s)
+            self._rollback_stream(s, bad_set, t)
+
+    def _rollback_stream(self, s, bad_set, t: float) -> None:
+        """Truncate a corrupted stream to its last verified page boundary
+        and queue the recompute, or shed it if its retry budget is spent."""
+        eng, st, adm = self.engine, self.state, self.admission
+        cache = st.cache
+        pages = cache.seq_pages(s.seq_id)
+        first_bad = min(i for i, p in enumerate(pages) if p in bad_set)
+        keep = first_bad * cache.page_size
+        s.resume_len = max(cache.seq_len(s.seq_id), s.resume_len)
+        if keep > 0:
+            cache.truncate(s.seq_id, keep)
+        else:
+            cache.free_seq(s.seq_id)
+            s.seq_id = -1
+        s.retries += 1
+        if s.retries > eng.resilience.max_retries:
+            if s.seq_id >= 0:
+                cache.free_seq(s.seq_id)
+                s.seq_id = -1
+            adm.shed_stream(s, t, "retries")
+        else:
+            eng._count("retries")
+            eng._fault_event(
+                "corrupt", "retry", t, req_id=s.req_idx,
+                detail=f"rolled back to {keep}/{s.resume_len} tokens",
+            )
+            st.preempted.append(s)
+
+    def inject(self, t: float) -> None:
+        """End-of-step KV corruption: pick a live page from the plan's
+        ``corrupt`` stream.  The scrub at the top of the next step (or the
+        taint path, when detection is off) observes it."""
+        plan = self.engine.fault_plan
+        if plan is None:
+            return
+        cache = self.state.cache
+        used = cache.used_pages()
+        if not used:
+            return
+        if plan.fire("corrupt"):
+            page = used[plan.choose("corrupt", len(used))]
+            cache.corrupt_page(page)
+            self.engine._fault_event("corrupt", "injected", t, detail=f"page {page}")

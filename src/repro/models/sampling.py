@@ -8,7 +8,6 @@ here over raw logits with a seeded generator so runs stay reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -20,7 +20,7 @@ Both are plain dataclasses with ``to_dict`` so every exporter
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.gpu.executor import SimReport
 

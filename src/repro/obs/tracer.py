@@ -121,6 +121,9 @@ class StepTracer:
         self.fault_events: List[FaultEvent] = []
         self.fault_counts: Dict[str, int] = {}
         self.total_degraded_steps = 0
+        # -- plan-cache state (zero unless an engine reports a PlanCache) ----
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # -- recording ------------------------------------------------------------
 
@@ -160,6 +163,11 @@ class StepTracer:
             self.fault_events.append(event)
         key = f"{event.site}:{event.action}"
         self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+
+    def note_plan_cache(self, hits: int, misses: int) -> None:
+        """Accumulate plan-cache hit/miss deltas reported by an engine run."""
+        self.plan_cache_hits += hits
+        self.plan_cache_misses += misses
 
     def record_kernel(self, record: KernelRecord) -> None:
         """Record a kernel execution outside the engine step loop (the
@@ -201,6 +209,10 @@ class StepTracer:
             out["degraded_steps"] = float(self.total_degraded_steps)
             for key, n in sorted(self.fault_counts.items()):
                 out[f"fault_{key.replace(':', '_')}"] = float(n)
+        # Same convention: plan-cache counters only when a cache was active.
+        if self.plan_cache_hits or self.plan_cache_misses:
+            out["plan_cache_hits"] = float(self.plan_cache_hits)
+            out["plan_cache_misses"] = float(self.plan_cache_misses)
         return out
 
     def component_shares(self) -> Dict[str, float]:

@@ -15,8 +15,21 @@ from repro.serving.backends import (
     TritonBackend,
     TRTLLMBackend,
 )
+from repro.serving.admission import AdmissionController
+from repro.serving.batching import BatchFormer, RunState, StepPlan
 from repro.serving.engine import EngineConfig, ServingEngine
+from repro.serving.executor import Postprocessor, StepExecutor
 from repro.serving.metrics import RequestTrace, ServingMetrics
+from repro.serving.plan_cache import PlanCache
+from repro.serving.policy import (
+    FCFSPolicy,
+    PriorityPolicy,
+    SchedulerPolicy,
+    SLAAwarePolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+)
 from repro.serving.tuning import OperatingPoint, find_max_rate
 from repro.serving.model import (
     LLAMA_3_1_8B,
@@ -46,6 +59,20 @@ __all__ = [
     "TRTLLMBackend",
     "EngineConfig",
     "ServingEngine",
+    "AdmissionController",
+    "BatchFormer",
+    "RunState",
+    "StepPlan",
+    "StepExecutor",
+    "Postprocessor",
+    "PlanCache",
+    "SchedulerPolicy",
+    "FCFSPolicy",
+    "PriorityPolicy",
+    "SLAAwarePolicy",
+    "register_policy",
+    "get_policy",
+    "available_policies",
     "RequestTrace",
     "ServingMetrics",
     "OperatingPoint",

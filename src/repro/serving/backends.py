@@ -62,12 +62,20 @@ class AttentionBackend:
     #: Attached fault plan (see :meth:`set_fault_injector`); ``None`` keeps
     #: every simulated launch exactly as before.
     fault_injector = None
+    #: Attached :class:`repro.serving.plan_cache.PlanCache`; ``None`` means
+    #: every wrapper ``plan()`` recomputes its schedule from scratch.
+    plan_cache = None
 
     def set_fault_injector(self, injector) -> None:
         """Attach (or detach, with ``None``) a duck-typed
         :class:`repro.faults.FaultPlan`; backends thread it into their
         simulated-kernel executors so launches can fail or straggle."""
         self.fault_injector = injector
+
+    def set_plan_cache(self, cache) -> None:
+        """Attach (or detach, with ``None``) a plan cache; backends that own
+        wrappers thread it into each wrapper's ``plan_cache`` slot."""
+        self.plan_cache = cache
 
     def attention_time(
         self, formats: "ComposableFormat | AttentionMapping", decode: bool
@@ -139,6 +147,15 @@ class FlashInferBackend(AttentionBackend):
             for sub in cw.wrappers:
                 sub.executor.fault_injector = injector
 
+    def set_plan_cache(self, cache) -> None:
+        self.plan_cache = cache
+        for w in self._wrappers.values():
+            w.plan_cache = cache
+        for cw in self._composable_wrappers.values():
+            cw.plan_cache = cache
+            for sub in cw.wrappers:
+                sub.plan_cache = cache
+
     def _single_wrapper(self, decode: bool) -> BatchAttentionWrapper:
         key = "decode" if decode else "prefill"
         if key not in self._wrappers:
@@ -152,6 +169,7 @@ class FlashInferBackend(AttentionBackend):
                 **self._bounds,
             )
             self._wrappers[key].executor.fault_injector = self.fault_injector
+            self._wrappers[key].plan_cache = self.plan_cache
         return self._wrappers[key]
 
     def attention_time(self, formats, decode: bool) -> float:
@@ -169,6 +187,7 @@ class FlashInferBackend(AttentionBackend):
             cw = ComposableAttentionWrapper(
                 VANILLA, self.heads, self._workspace, self.gpu, **self._bounds
             )
+            cw.plan_cache = self.plan_cache
             self._composable_wrappers[key] = cw
         cw.plan(formats)
         _, report = cw.run(None, compute=False)
@@ -246,6 +265,10 @@ class TRTLLMBackend(AttentionBackend):
     def set_fault_injector(self, injector) -> None:
         self.fault_injector = injector
         self._inner.set_fault_injector(injector)
+
+    def set_plan_cache(self, cache) -> None:
+        self.plan_cache = cache
+        self._inner.set_plan_cache(cache)
 
     def attention_time(self, formats, decode: bool) -> float:
         mapping = TritonBackend._flatten(formats)

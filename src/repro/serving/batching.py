@@ -1,0 +1,504 @@
+"""Batch forming: admitted work → an explicit :class:`StepPlan` IR.
+
+The :class:`BatchFormer` is the middle of the engine pipeline
+(admission → policy → **batch forming** → execution → postprocessing):
+each step it turns the run's queues into one :class:`StepPlan` — the
+prefill chunks, decode set or resume set, with every page-table mutation
+(extend / truncate / fork / preempt) already applied — and hands it to
+the :class:`repro.serving.executor.StepExecutor`.  Transient allocation
+faults surfaced while forming are routed to
+:meth:`repro.serving.admission.AdmissionController.requeue`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kvcache.paged import PagedKVCache, TransientAllocFault
+from repro.serving.metrics import RequestTrace, ServingMetrics
+from repro.serving.workload import Request
+from repro.sparse.composable import PrefixCluster, decompose_shared_prefix
+from repro.sparse.layout import AttentionMapping
+
+#: Vocabulary size of the deterministic token model; tokens decoded from a
+#: corrupted sequence with detection off are offset by this (the "taint"
+#: marker the negative-control tests look for).
+TOKEN_VOCAB = 50257
+
+
+def token_id(req_idx: int, gen_index: int, pos: int) -> int:
+    """Deterministic stand-in for a sampled token id.
+
+    A pure function of (request, generation stream, position), so any two
+    runs — faulty or not — that complete a stream must produce identical
+    token sequences unless corrupted KV leaked into decoding.  It is also
+    what makes scheduling policies trivially token-exact per stream: no
+    ordering decision can change a stream's tokens.
+    """
+    h = req_idx * 1000003 + gen_index * 8191 + pos * 2654435761
+    return (h & 0x7FFFFFFF) % TOKEN_VOCAB
+
+
+class Stream:
+    """One decode stream (a single generation of a request)."""
+
+    __slots__ = (
+        "req_idx", "seq_id", "remaining", "trace", "resume_len",
+        "gen_index", "retries", "deadline",
+    )
+
+    def __init__(
+        self,
+        req_idx: int,
+        seq_id: int,
+        remaining: int,
+        trace: RequestTrace,
+        gen_index: int = 0,
+        deadline: Optional[float] = None,
+    ):
+        self.req_idx = req_idx
+        self.seq_id = seq_id  # -1 while preempted with all pages freed
+        self.remaining = remaining
+        self.trace = trace
+        self.resume_len = 0  # KV length to recompute after preemption
+        self.gen_index = gen_index
+        self.retries = 0  # recompute retries consumed (rollback/alloc)
+        self.deadline = deadline  # absolute shed time, or None
+
+
+class PartialPrefill:
+    """A prompt being prefilled chunk by chunk."""
+
+    __slots__ = ("req_idx", "seq_id", "filled")
+
+    def __init__(self, req_idx: int, seq_id: int):
+        self.req_idx = req_idx
+        self.seq_id = seq_id
+        self.filled = 0
+
+
+@dataclass
+class RunState:
+    """Everything one serving run mutates, shared by the pipeline layers."""
+
+    requests: Sequence[Request]
+    cache: PagedKVCache
+    metrics: ServingMetrics
+    waiting: Deque[int] = field(default_factory=deque)
+    prefill_queue: Deque[int] = field(default_factory=deque)
+    streams: List[Stream] = field(default_factory=list)
+    prefilling: Deque[PartialPrefill] = field(default_factory=deque)
+    preempted: Deque[Stream] = field(default_factory=deque)
+    #: prefix_group → (cached pages, cached token count), page-aligned.
+    prefix_registry: Dict[int, tuple] = field(default_factory=dict)
+
+    def has_work(self) -> bool:
+        return bool(
+            self.waiting or self.prefill_queue or self.prefilling
+            or self.streams or self.preempted
+        )
+
+
+@dataclass
+class StepPlan:
+    """One step's worth of formed work — the IR between pipeline layers.
+
+    The :class:`BatchFormer` produces it with all page-table mutations
+    already applied; the executor prices its attention and advances time;
+    the postprocessor spawns/records/finishes streams from it.
+    """
+
+    #: ``"prefill"`` | ``"decode"`` | ``"mixed"`` | ``"resume"``.
+    kind: str
+    #: What the attention backend prices: the dense mapping, or a
+    #: composable format stack for fork groups.
+    formats: object
+    #: The dense :class:`AttentionMapping`, always present — the degraded
+    #: fallback backend cannot run composable formats.
+    mapping: AttentionMapping
+    #: Backend phase flag (decode-shaped attention kernels).
+    decode: bool
+    #: Prompt tokens prefilled (or recomputed) this step.
+    num_prefill_tokens: int
+    #: Live decode streams advanced one token this step.
+    num_decode_tokens: int
+    #: KV sequence ids in batch order (decode streams first for mixed).
+    seq_ids: List[int]
+    #: ``metrics.preemptions`` snapshot from before forming, so the trace
+    #: event carries the per-step preemption delta.
+    preempt_before: int
+    #: Fully prefilled prompts to spawn as streams: ``(req_idx, seq_id)``.
+    prefilled: List[Tuple[int, int]] = field(default_factory=list)
+    #: Chunked-prefill segments processed: ``(PartialPrefill, chunk)``.
+    chunks: List[Tuple[PartialPrefill, int]] = field(default_factory=list)
+    #: Preempted streams whose KV was recomputed and now resume decoding.
+    resumed: List[Stream] = field(default_factory=list)
+
+    @property
+    def num_tokens(self) -> int:
+        return self.num_prefill_tokens + self.num_decode_tokens
+
+
+class BatchFormer:
+    """Turn admitted work into one :class:`StepPlan` per engine step.
+
+    Holds no step state of its own: everything flows from
+    :class:`RunState` in and :class:`StepPlan` out.  ``form_*`` methods
+    return ``None`` for a no-op step (everything alloc-faulted away) —
+    the engine still runs the end-of-step resilience hooks then.
+    """
+
+    def __init__(self, engine, state: RunState, admission):
+        self.engine = engine
+        self.state = state
+        self.admission = admission
+
+    # -- prefix caching -------------------------------------------------------
+
+    def _cached_prefix(self, req: Request):
+        """Cached (pages, token count) usable by ``req``, if any.
+
+        The reusable length is capped below the full prompt — the last
+        token's logits must always be computed fresh.
+        """
+        cfg = self.engine.config
+        if not (cfg.prefix_caching and req.prefix_group is not None):
+            return None
+        entry = self.state.prefix_registry.get(req.prefix_group)
+        if entry is None:
+            return None
+        pages, cached_len = entry
+        usable = min(cached_len, ((req.prompt_len - 1) // cfg.page_size) * cfg.page_size)
+        if usable <= 0:
+            return None
+        return pages[: usable // cfg.page_size], usable
+
+    def _register_prefix(self, req: Request, cache: PagedKVCache, seq_id: int) -> None:
+        """Cache a freshly prefilled request's shared-prefix pages."""
+        cfg = self.engine.config
+        if not (cfg.prefix_caching and req.prefix_group is not None):
+            return
+        if req.prefix_group in self.state.prefix_registry:
+            return
+        aligned = (req.prefix_len // cfg.page_size) * cfg.page_size
+        if aligned < cfg.page_size:
+            return
+        pages = cache.seq_pages(seq_id)[: aligned // cfg.page_size]
+        cache.retain_pages(pages)
+        self.state.prefix_registry[req.prefix_group] = (pages, aligned)
+
+    def _start_prefill_seq(self, cache: PagedKVCache, req: Request):
+        """Create a sequence for ``req``, reusing cached prefix pages.
+
+        Returns ``(seq_id, tokens_to_prefill)``.
+        """
+        hit = self._cached_prefix(req)
+        if hit is not None:
+            pages, cached = hit
+            sid = cache.new_seq(shared_pages=pages, shared_len=cached)
+            self.engine._step_prefix_hits += 1
+            return sid, req.prompt_len - cached
+        return cache.new_seq(), req.prompt_len
+
+    # -- forming --------------------------------------------------------------
+
+    def form_prefill(self, t: float) -> Optional[StepPlan]:
+        """Token-budgeted batch of whole prompts (non-chunked mode)."""
+        cfg, st = self.engine.config, self.state
+        requests, prefill_queue, cache, streams = (
+            st.requests, st.prefill_queue, st.cache, st.streams,
+        )
+        batch: List[int] = []
+        tokens = 0
+        pages_left = cache.num_free_pages - len(streams)  # decode headroom
+        while prefill_queue and (
+            not batch or tokens + requests[prefill_queue[0]].prompt_len <= cfg.max_prefill_tokens
+        ):
+            nxt = requests[prefill_queue[0]].prompt_len
+            need = -(-nxt // cfg.page_size)
+            if batch and need > pages_left:
+                break
+            idx = prefill_queue.popleft()
+            batch.append(idx)
+            tokens += nxt
+            pages_left -= need
+
+        ok_batch: List[int] = []
+        seqs: List[int] = []
+        qo_lens: List[int] = []
+        for idx in batch:
+            sid, new_tokens = self._start_prefill_seq(cache, requests[idx])
+            try:
+                cache.extend(sid, new_tokens)
+            except TransientAllocFault:
+                cache.free_seq(sid)
+                self.admission.requeue_prompt(idx, t)
+                continue
+            self._register_prefix(requests[idx], cache, sid)
+            ok_batch.append(idx)
+            seqs.append(sid)
+            qo_lens.append(new_tokens)
+        if not seqs:
+            return None
+        tokens = sum(qo_lens)
+        mapping = AttentionMapping(
+            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
+            cache.layout(seqs),
+            causal=True,
+        )
+        return StepPlan(
+            kind="prefill", formats=mapping, mapping=mapping, decode=False,
+            num_prefill_tokens=tokens, num_decode_tokens=0, seq_ids=seqs,
+            preempt_before=st.metrics.preemptions,
+            prefilled=list(zip(ok_batch, seqs)),
+        )
+
+    def form_mixed(self, t: float) -> Optional[StepPlan]:
+        """One chunked-prefill step: all decode streams plus up to
+        ``prefill_chunk_size`` prompt tokens piggybacked (Sarathi-serve)."""
+        eng, cfg, st = self.engine, self.engine.config, self.state
+        requests, prefill_queue, prefilling, cache, streams = (
+            st.requests, st.prefill_queue, st.prefilling, st.cache, st.streams,
+        )
+        preempt_before = st.metrics.preemptions
+        self._ensure_decode_capacity()
+        alloc_failed: List[Stream] = []
+        for s in streams:
+            try:
+                cache.extend(s.seq_id, 1)
+            except TransientAllocFault:
+                alloc_failed.append(s)
+        for s in alloc_failed:
+            self._preempt_alloc_failed(s, t)
+
+        budget = cfg.prefill_chunk_size
+        segments: List[tuple] = []  # (PartialPrefill, chunk)
+        while budget > 0:
+            if not prefilling:
+                if not prefill_queue:
+                    break
+                idx = prefill_queue.popleft()
+                sid, _ = self._start_prefill_seq(cache, requests[idx])
+                pp = PartialPrefill(idx, sid)
+                pp.filled = cache.seq_len(sid)  # cached prefix already present
+                prefilling.append(pp)
+            pp = prefilling[0]
+            remaining = requests[pp.req_idx].prompt_len - pp.filled
+            chunk = min(budget, remaining)
+            # Admission control: leave decode headroom (one page/stream).
+            need = -(-chunk // cfg.page_size) + 1
+            headroom = cache.num_free_pages - len(streams)
+            if need > headroom:
+                chunk = max((headroom - 1) * cfg.page_size, 0)
+                if chunk == 0:
+                    break
+            pre_len = cache.seq_len(pp.seq_id)
+            try:
+                cache.extend(pp.seq_id, chunk)
+            except TransientAllocFault:
+                cache.truncate(pp.seq_id, pre_len)  # drop partial growth
+                self.admission.requeue_chunk(pp, t)
+                break
+            segments.append((pp, chunk))
+            budget -= chunk
+            pp.filled += chunk
+            if pp.filled == requests[pp.req_idx].prompt_len:
+                self._register_prefix(requests[pp.req_idx], cache, pp.seq_id)
+                prefilling.popleft()
+            else:
+                break  # the partial prompt keeps the head of the queue
+
+        if eng._degrade is not None and not streams and not segments:
+            return None
+        seq_ids = [s.seq_id for s in streams] + [pp.seq_id for pp, _ in segments]
+        qo_lens = [1] * len(streams) + [chunk for _, chunk in segments]
+        mapping = AttentionMapping(
+            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
+            cache.layout(seq_ids),
+            causal=True,
+        )
+        formats: object = mapping
+        if cfg.composable and eng.backend.supports_composable and not eng._step_is_degraded():
+            clusters = self._fork_clusters()
+            if clusters:
+                formats = decompose_shared_prefix(mapping, clusters)
+        return StepPlan(
+            kind="mixed", formats=formats, mapping=mapping, decode=not segments,
+            num_prefill_tokens=sum(chunk for _, chunk in segments),
+            num_decode_tokens=len(streams), seq_ids=seq_ids,
+            preempt_before=preempt_before, chunks=segments,
+        )
+
+    def form_decode(self, t: float) -> Optional[StepPlan]:
+        """Advance every live decode stream by one token."""
+        eng, cfg, st = self.engine, self.engine.config, self.state
+        cache, streams = st.cache, st.streams
+        preempt_before = st.metrics.preemptions
+        self._ensure_decode_capacity()
+        alloc_failed: List[Stream] = []
+        for s in streams:
+            try:
+                cache.extend(s.seq_id, 1)
+            except TransientAllocFault:
+                alloc_failed.append(s)
+        for s in alloc_failed:
+            self._preempt_alloc_failed(s, t)
+        if eng._degrade is not None and not streams:
+            return None
+        seq_ids = [s.seq_id for s in streams]
+        mapping = AttentionMapping(
+            np.arange(len(streams) + 1, dtype=np.int64),
+            cache.layout(seq_ids),
+            causal=True,
+        )
+        formats: object = mapping
+        if cfg.composable and eng.backend.supports_composable and not eng._step_is_degraded():
+            clusters = self._fork_clusters()
+            if clusters:
+                formats = decompose_shared_prefix(mapping, clusters)
+        return StepPlan(
+            kind="decode", formats=formats, mapping=mapping, decode=True,
+            num_prefill_tokens=0, num_decode_tokens=len(streams),
+            seq_ids=seq_ids, preempt_before=preempt_before,
+        )
+
+    def form_resume(self, t: float) -> Optional[StepPlan]:
+        """Re-prefill preempted streams' KV (recompute) so they can resume."""
+        cfg, st = self.engine.config, self.state
+        cache, streams, preempted = st.cache, st.streams, st.preempted
+        batch: List[Stream] = []
+        tokens = 0
+        pages_left = cache.num_free_pages - len(streams)
+        while preempted and (
+            not batch
+            or tokens + self._resume_tokens(preempted[0]) <= cfg.max_prefill_tokens
+        ):
+            # Only resume what the pool can hold right now.
+            need = self._resume_pages(preempted[0])
+            if batch and need > pages_left:
+                break
+            stream = preempted.popleft()
+            batch.append(stream)
+            tokens += self._resume_tokens(stream)
+            pages_left -= need
+        ok: List[Stream] = []
+        qo_lens: List[int] = []
+        for stream in batch:
+            sid = stream.seq_id if stream.seq_id >= 0 else cache.new_seq()
+            kept = cache.seq_len(sid)
+            recompute = stream.resume_len - kept
+            try:
+                cache.extend(sid, recompute)
+            except TransientAllocFault:
+                if stream.seq_id >= 0:
+                    cache.truncate(sid, kept)
+                else:
+                    cache.free_seq(sid)
+                self.admission.requeue_stream(stream, t, front=True)
+                continue
+            stream.seq_id = sid
+            ok.append(stream)
+            qo_lens.append(recompute)
+        if not ok:
+            return None
+        tokens = sum(qo_lens)
+        mapping = AttentionMapping(
+            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
+            cache.layout([s.seq_id for s in ok]),
+            causal=True,
+        )
+        return StepPlan(
+            kind="resume", formats=mapping, mapping=mapping, decode=False,
+            num_prefill_tokens=tokens, num_decode_tokens=0,
+            seq_ids=[s.seq_id for s in ok],
+            preempt_before=st.metrics.preemptions, resumed=ok,
+        )
+
+    # -- capacity / preemption ------------------------------------------------
+
+    def _preempt_alloc_failed(self, s: Stream, t: float) -> None:
+        """A decode extend hit a transient allocation fault: preempt the
+        stream (recompute later) or shed it when out of retries."""
+        st = self.state
+        st.streams.remove(s)
+        s.resume_len = st.cache.seq_len(s.seq_id)
+        st.cache.free_seq(s.seq_id)
+        s.seq_id = -1
+        self.admission.requeue_stream(s, t)
+
+    def _ensure_decode_capacity(self) -> None:
+        """Preempt-by-recompute when the page pool cannot absorb this step.
+
+        vLLM-style backpressure: the youngest streams are evicted (their
+        pages freed) and later re-prefilled from scratch; without it a
+        full pool would abort the whole serving run mid-flight.
+        """
+        from repro.kvcache.paged import OutOfPagesError
+
+        st = self.state
+        cache, streams, preempted = st.cache, st.streams, st.preempted
+
+        def pages_needed() -> int:
+            needed = 0
+            for s in streams:
+                length = cache.seq_len(s.seq_id)
+                if length % cache.page_size == 0:
+                    needed += 1
+                else:
+                    last = cache.seq_pages(s.seq_id)[-1]
+                    if cache.page_refcount(last) > 1:
+                        needed += 1  # copy-on-write of a shared partial page
+            return needed
+
+        while cache.num_free_pages < pages_needed():
+            if len(streams) <= 1:
+                raise OutOfPagesError(
+                    "KV pool too small for even one stream; increase "
+                    f"EngineConfig.num_pool_pages ({cache._stats_brief()})"
+                )
+            victim = streams.pop()  # youngest stream
+            victim.resume_len = cache.seq_len(victim.seq_id)
+            cache.free_seq(victim.seq_id)
+            victim.seq_id = -1
+            if preempted is None:
+                raise OutOfPagesError(
+                    f"pool exhausted and preemption unavailable ({cache._stats_brief()})"
+                )
+            preempted.append(victim)
+            st.metrics.preemptions += 1
+
+    def _resume_tokens(self, s: Stream) -> int:
+        """Tokens to recompute when resuming ``s``: everything after the
+        verified pages a rollback kept (all of them for a full eviction)."""
+        cache = self.state.cache
+        if s.seq_id >= 0:
+            return s.resume_len - cache.seq_len(s.seq_id)
+        return s.resume_len
+
+    def _resume_pages(self, s: Stream) -> int:
+        cache = self.state.cache
+        if s.seq_id >= 0:
+            return -(-s.resume_len // cache.page_size) - len(cache.seq_pages(s.seq_id))
+        return -(-s.resume_len // cache.page_size)
+
+    def _fork_clusters(self) -> List[PrefixCluster]:
+        """Consecutive streams of the same request share its prompt pages."""
+        cfg, st = self.engine.config, self.state
+        streams, requests = st.streams, st.requests
+        clusters: List[PrefixCluster] = []
+        i = 0
+        while i < len(streams):
+            j = i
+            while j + 1 < len(streams) and streams[j + 1].req_idx == streams[i].req_idx:
+                j += 1
+            if j > i:
+                prompt = requests[streams[i].req_idx].prompt_len
+                aligned = (prompt // cfg.page_size) * cfg.page_size
+                if aligned >= cfg.page_size:
+                    clusters.append(PrefixCluster(tuple(range(i, j + 1)), aligned))
+            i = j + 1
+        return clusters

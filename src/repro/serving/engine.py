@@ -1,68 +1,78 @@
 """Continuous-batching LLM serving engine (the §4.1/§4.3/§4.4 harness).
 
-A minimal Orca/SGLang-style engine over the simulated GPU: requests arrive
-on a Poisson process, prompts are prefilled in token-budgeted batches,
-decode steps run all live streams together, and per-step time is
+A minimal Orca/SGLang-style engine over the simulated GPU, decomposed into
+a pipeline of small layers that communicate through an explicit
+:class:`~repro.serving.batching.StepPlan` IR — mirroring the paper's own
+separation of *planning* from *execution* (§3.4)::
 
-    layers × (attention(backend) + GEMMs(roofline) + allreduce(TP))
-      + LM head + framework overhead
+    AdmissionController → SchedulerPolicy → BatchFormer → [PlanCache]
+        → StepExecutor → Postprocessor
 
-with only the attention term differing across backends — isolating exactly
-the variable the paper's end-to-end experiments vary.
+* :class:`~repro.serving.admission.AdmissionController` — queueing,
+  capacity fits, deadlines, shedding, transient-alloc requeue.
+* :class:`~repro.serving.policy.SchedulerPolicy` — pluggable ordering of
+  the admitted prefill queue (``fcfs`` reproduces the classic engine
+  token-for-token; select via :attr:`EngineConfig.policy`).
+* :class:`~repro.serving.batching.BatchFormer` — turns admitted work into
+  one :class:`~repro.serving.batching.StepPlan` per step (prefill chunks,
+  decode set, resume set, page-table deltas).
+* :class:`~repro.serving.plan_cache.PlanCache` — memoizes the wrapper's
+  CPU ``plan()`` across layers and steps (the plan/run split, §3.3.1).
+* :class:`~repro.serving.executor.StepExecutor` — prices the plan through
+  the backend; owns kernel fault-retry and degrade hooks.
+* :class:`~repro.serving.executor.Postprocessor` — token recording,
+  finish/fork, metrics and trace emission.
 
-Parallel generation (§4.4, the OpenAI ``n`` parameter) forks each prefilled
-prompt into ``n`` decode streams sharing the prompt's KV pages; with
-``composable=True`` the decode attention is decomposed into a shared-prefix
-format plus per-stream suffixes (§3.1.2).
+Per-step time is ``layers × (attention(backend) + GEMMs(roofline) +
+allreduce(TP)) + LM head + framework overhead`` with only the attention
+term differing across backends — isolating exactly the variable the
+paper's end-to-end experiments vary.
 
 Resilience (``fault_plan``/``resilience``): with a
 :class:`repro.faults.FaultPlan` attached the engine injects transient
 kernel faults, CTA stragglers, KV-page corruption and page-allocation
-hiccups, and recovers via bounded retry-with-recompute (re-prefill from
-the last verified page over the preemption machinery), request deadlines
-with youngest-first load shedding, and graceful degradation to the dense
-baseline backend.  With neither argument set every fault-path guard is a
-single ``is None`` check and the step loop is unchanged.
+hiccups, and recovers via bounded retry-with-recompute, deadlines with
+youngest-first load shedding, and graceful degradation to the dense
+baseline backend (see :class:`repro.faults.recover.KVScrubber` and the
+executor).  With neither argument set every fault-path guard is a single
+``is None`` check and the step loop is unchanged.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, Optional, Sequence
 
 from repro.core.kernels import HeadConfig
 from repro.faults.plan import FaultPlan
-from repro.faults.recover import DegradeController, ResilienceConfig
-from repro.gpu.executor import KernelFault
+from repro.faults.recover import DegradeController, KVScrubber, ResilienceConfig
 from repro.gpu.spec import GPUSpec
-from repro.kvcache.paged import OutOfPagesError, PagedKVCache, TransientAllocFault
-from repro.obs.events import FaultEvent, KernelRecord, StepEvent
+from repro.kvcache.paged import OutOfPagesError, PagedKVCache
+from repro.obs.events import FaultEvent
 from repro.obs.tracer import StepTracer
-from repro.serving.backends import AttentionBackend, TritonBackend
-from repro.serving.metrics import RequestTrace, ServingMetrics
+from repro.serving.admission import AdmissionController
+from repro.serving.backends import AttentionBackend
+from repro.serving.batching import (
+    BatchFormer,
+    PartialPrefill,
+    RunState,
+    Stream,
+    TOKEN_VOCAB,
+    token_id,
+)
+from repro.serving.executor import Postprocessor, StepExecutor
+from repro.serving.metrics import ServingMetrics
 from repro.serving.model import ModelConfig
+from repro.serving.plan_cache import PlanCache
+from repro.serving.policy import SchedulerPolicy, get_policy
 from repro.serving.workload import Request
-from repro.sparse.composable import ComposableFormat, PrefixCluster, decompose_shared_prefix
-from repro.sparse.layout import AttentionMapping
 
-#: Vocabulary size of the deterministic token model; tokens decoded from a
-#: corrupted sequence with detection off are offset by this (the "taint"
-#: marker the negative-control tests look for).
-_TOKEN_VOCAB = 50257
-
-
-def _token(req_idx: int, gen_index: int, pos: int) -> int:
-    """Deterministic stand-in for a sampled token id.
-
-    A pure function of (request, generation stream, position), so any two
-    runs — faulty or not — that complete a stream must produce identical
-    token sequences unless corrupted KV leaked into decoding.
-    """
-    h = req_idx * 1000003 + gen_index * 8191 + pos * 2654435761
-    return (h & 0x7FFFFFFF) % _TOKEN_VOCAB
+# Back-compat aliases for the pre-pipeline module layout.
+_TOKEN_VOCAB = TOKEN_VOCAB
+_token = token_id
+_Stream = Stream
+_PartialPrefill = PartialPrefill
 
 
 @dataclass
@@ -85,44 +95,16 @@ class EngineConfig:
     #: shared ``prefix_group`` reuse the group's cached prompt pages and
     #: prefill only their unique suffix (§5.4, RadixAttention).
     prefix_caching: bool = False
-
-
-class _Stream:
-    """One decode stream (a single generation of a request)."""
-
-    __slots__ = (
-        "req_idx", "seq_id", "remaining", "trace", "resume_len",
-        "gen_index", "retries", "deadline",
-    )
-
-    def __init__(
-        self,
-        req_idx: int,
-        seq_id: int,
-        remaining: int,
-        trace: RequestTrace,
-        gen_index: int = 0,
-        deadline: Optional[float] = None,
-    ):
-        self.req_idx = req_idx
-        self.seq_id = seq_id  # -1 while preempted with all pages freed
-        self.remaining = remaining
-        self.trace = trace
-        self.resume_len = 0  # KV length to recompute after preemption
-        self.gen_index = gen_index
-        self.retries = 0  # recompute retries consumed (rollback/alloc)
-        self.deadline = deadline  # absolute shed time, or None
-
-
-class _PartialPrefill:
-    """A prompt being prefilled chunk by chunk."""
-
-    __slots__ = ("req_idx", "seq_id", "filled")
-
-    def __init__(self, req_idx: int, seq_id: int):
-        self.req_idx = req_idx
-        self.seq_id = seq_id
-        self.filled = 0
+    #: Scheduling-policy name (see :mod:`repro.serving.policy`): ``fcfs``
+    #: (the default, token-exact with the classic engine), ``priority``,
+    #: ``sla-aware``, or any name registered via ``register_policy`` / the
+    #: ``repro.serving_policies`` entry-point group.
+    policy: str = "fcfs"
+    #: Memoize wrapper ``plan()`` results across layers and steps (the
+    #: plan/run split, §3.3.1/§3.4).  Never changes simulated results —
+    #: a hit returns a plan identical to the one it replaces.
+    plan_cache: bool = True
+    plan_cache_entries: int = 1024
 
 
 class ServingEngine:
@@ -158,14 +140,11 @@ class ServingEngine:
         # it is the single sentinel every fault-path guard checks.
         self._degrade: Optional[DegradeController] = None
         self._fallback_backend: Optional[AttentionBackend] = None
-        self._step_backend: Optional[AttentionBackend] = None
-        self._step_degraded = False
-        self._fault_penalty = 0.0
         self._fault_counters: Dict[str, int] = {}
-        self._prefill_retries: Dict[int, int] = {}
         self._taint = False
         self._deadlines_active = False
         self._cache: Optional[PagedKVCache] = None
+        self._prefix_registry: dict = {}
         self.heads = HeadConfig(
             model.num_qo_heads // self.config.tensor_parallel
             if model.num_qo_heads % self.config.tensor_parallel == 0
@@ -178,96 +157,23 @@ class ServingEngine:
                 f"backend heads {backend.heads} != engine shard heads {self.heads}; "
                 f"construct the backend with the per-shard head config"
             )
-
-    # -- step-time assembly ---------------------------------------------------
-
-    def _step_time(self, attn_per_layer: float, num_tokens: int) -> float:
-        m, cfg = self.model, self.config
-        ch = self.backend.characteristics
-        layer = (
-            attn_per_layer
-            + m.layer_nonattn_time(num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel)
-            + m.allreduce_time(num_tokens, cfg.tensor_parallel, ch.allreduce_efficiency)
+        #: Resolved scheduling policy (raises on an unknown name).
+        self._policy: SchedulerPolicy = get_policy(self.config.policy)
+        #: Plan memo shared with the backend's wrappers; ``replay_factor``
+        #: mirrors plan-once/run-per-layer (§3.3.1): each plan lookup
+        #: stands for one plan plus ``num_layers - 1`` replayed launches.
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(
+                capacity=self.config.plan_cache_entries,
+                replay_factor=model.num_layers,
+            )
+            if self.config.plan_cache
+            else None
         )
-        total = (
-            m.num_layers * layer
-            + m.lm_head_time(num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel)
-            + self.backend.step_overhead(m.num_layers, self.gpu)
-            + cfg.scheduler_overhead
-        )
-        if self._fault_penalty:
-            total += self._fault_penalty  # host-observed kernel retries
-        return total
+        if self.plan_cache is not None:
+            backend.set_plan_cache(self.plan_cache)
 
-    def _step_components(self, attn_per_layer: float, num_tokens: int) -> dict:
-        """The terms of :meth:`_step_time` itemized for tracing; the values
-        sum to the step duration (same arithmetic, regrouped)."""
-        m, cfg = self.model, self.config
-        ch = self.backend.characteristics
-        overhead = (
-            self.backend.step_overhead(m.num_layers, self.gpu) + cfg.scheduler_overhead
-        )
-        if self._fault_penalty:
-            overhead += self._fault_penalty
-        return {
-            "attention": m.num_layers * attn_per_layer,
-            "gemm": m.num_layers * m.layer_nonattn_time(
-                num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel
-            ),
-            "allreduce": m.num_layers * m.allreduce_time(
-                num_tokens, cfg.tensor_parallel, ch.allreduce_efficiency
-            ),
-            "lm_head": m.lm_head_time(
-                num_tokens, self.gpu, ch.gemm_efficiency, cfg.tensor_parallel
-            ),
-            "overhead": overhead,
-        }
-
-    # -- tracing ----------------------------------------------------------------
-
-    def _emit_step(
-        self, kind, t_start, t_end, attn_per_layer, prefill_tokens,
-        decode_tokens, num_streams, cache, preemptions,
-    ) -> None:
-        """Record one :class:`StepEvent`; called only when tracing is on."""
-        tracer = self._tracer
-        event = StepEvent(
-            index=self._event_index,
-            kind=kind,
-            t_start=t_start,
-            t_end=t_end,
-            num_prefill_tokens=prefill_tokens,
-            num_decode_tokens=decode_tokens,
-            num_streams=num_streams,
-            breakdown=self._step_components(
-                attn_per_layer, prefill_tokens + decode_tokens
-            ),
-            kv_free_pages=cache.num_free_pages,
-            kv_used_pages=cache.num_used_pages,
-            preemptions=preemptions,
-            prefix_cache_hits=self._step_prefix_hits,
-        )
-        if self._degrade is not None and self._step_degraded:
-            event.degraded = True
-        if tracer.capture_kernels:
-            backend = self.backend
-            if self._degrade is not None and self._step_backend is not None:
-                backend = self._step_backend
-            event.kernels = [
-                KernelRecord.from_report(name, kind, report)
-                for name, report in backend.pop_kernel_reports()
-            ]
-        self._event_index += 1
-        self._step_prefix_hits = 0
-        tracer.on_step(event)
-
-    def _emit_idle(self, t_start: float, t_end: float) -> None:
-        self._tracer.on_step(
-            StepEvent(index=self._event_index, kind="idle", t_start=t_start, t_end=t_end)
-        )
-        self._event_index += 1
-
-    # -- fault bookkeeping ------------------------------------------------------
+    # -- shared hooks (used by every pipeline layer) ----------------------------
 
     def _count(self, key: str, n: int = 1) -> None:
         self._fault_counters[key] = self._fault_counters.get(key, 0) + n
@@ -287,284 +193,8 @@ class ServingEngine:
         rel = req.deadline if req.deadline is not None else self.resilience.deadline
         return None if rel is None else req.arrival + rel
 
-    def _fallback(self) -> AttentionBackend:
-        """The degraded-mode backend: a dense baseline with no injector
-        attached, so its launches cannot fault."""
-        fb = self._fallback_backend
-        if fb is None:
-            fb = TritonBackend(self.heads, self.gpu)
-            self._fallback_backend = fb
-        fb.collect_kernel_reports = self.backend.collect_kernel_reports
-        return fb
-
-    def _attention(
-        self,
-        formats: "ComposableFormat | AttentionMapping",
-        decode: bool,
-        t: float,
-        fallback_mapping: Optional[AttentionMapping] = None,
-    ) -> float:
-        """One step's attention with retry / degradation around the backend.
-
-        Plain runs take the first branch: a direct backend call."""
-        if self._degrade is None:
-            return self.backend.attention_time(formats, decode)
-        resil = self.resilience
-        ctrl = self._degrade
-        self._fault_penalty = 0.0
-        self._step_backend = self.backend
-        self._step_degraded = False
-        # Stragglers stretch a CTA inside the executor without raising, so
-        # the engine surfaces them by diffing the plan's fired counter.
-        plan = self.fault_plan
-        stragglers_before = plan.injected["straggler"] if plan is not None else 0
-        if ctrl.degraded:
-            fb = self._fallback()
-            attn = fb.attention_time(formats, decode)
-            self._step_backend = fb
-            self._step_degraded = True
-            self._count("degraded_steps")
-            if ctrl.on_clean_step():
-                self._fault_event(
-                    "degrade", "annealed", t,
-                    detail=f"{ctrl.anneal_after} clean degraded steps",
-                )
-            self._note_stragglers(stragglers_before, t)
-            return attn
-        faults = 0
-        while True:
-            try:
-                attn = self.backend.attention_time(formats, decode)
-                break
-            except KernelFault as exc:
-                faults += 1
-                self._fault_penalty += resil.fault_latency
-                self._count("kernel_faults")
-                self._fault_event("kernel", "injected", t, detail=str(exc)[:120])
-                if ctrl.on_kernel_fault():
-                    self._fault_event(
-                        "degrade", "degraded", t,
-                        detail=f"{ctrl.degrade_after} kernel-fault strikes",
-                    )
-                elif faults > resil.max_kernel_retries and ctrl.force_degrade():
-                    self._fault_event(
-                        "degrade", "degraded", t,
-                        detail="per-step kernel retry budget exhausted",
-                    )
-                if ctrl.degraded:
-                    # Final, guaranteed-clean attempt on the fallback.
-                    fb = self._fallback()
-                    mapping = fallback_mapping if fallback_mapping is not None else formats
-                    attn = fb.attention_time(mapping, decode)
-                    self._step_backend = fb
-                    self._step_degraded = True
-                    self._count("degraded_steps")
-                    break
-                self._count("retries")
-                self._fault_event("kernel", "retry", t, detail=f"attempt {faults + 1}")
-        if faults == 0:
-            ctrl.on_clean_step()
-        self._note_stragglers(stragglers_before, t)
-        return attn
-
-    def _note_stragglers(self, before: int, t: float) -> None:
-        """Trace straggler injections that fired during this step's
-        launches; their latency cost is already inside the simulated
-        makespan, so no recovery action is needed."""
-        plan = self.fault_plan
-        if plan is None:
-            return
-        for _ in range(plan.injected["straggler"] - before):
-            self._fault_event(
-                "straggler", "injected", t,
-                detail=f"CTA serial+memory streams x{plan.straggler_factor:g}",
-            )
-
-    # -- shedding / scrubbing ----------------------------------------------------
-
-    def _shed_queued(
-        self, req: Request, idx: int, gen: int, t: float,
-        metrics: ServingMetrics, reason: str,
-    ) -> None:
-        """Shed a generation that never produced a token."""
-        trace = RequestTrace(
-            arrival=req.arrival, first_token_time=t,
-            req_id=idx, gen_index=gen, outcome_reason=reason,
-        )
-        metrics.shed(trace)
-        self._count("sheds")
-        self._fault_event(reason, "shed", t, req_id=idx, detail=f"gen {gen}")
-
-    def _shed_stream(
-        self, s: _Stream, t: float, metrics: ServingMetrics, reason: str
-    ) -> None:
-        s.trace.outcome_reason = reason
-        metrics.shed(s.trace)
-        self._count("sheds")
-        self._fault_event(reason, "shed", t, req_id=s.req_idx, detail=f"gen {s.gen_index}")
-
-    def _shed_expired(
-        self, t, requests, prefill_queue, prefilling, streams, preempted,
-        cache, metrics,
-    ) -> None:
-        """Deterministic deadline shedding: drop every unit of work whose
-        absolute deadline has passed, scanning queues in a fixed order."""
-
-        def expired(req: Request) -> bool:
-            dl = self._deadline_for(req)
-            return dl is not None and t > dl
-
-        for idx in [i for i in prefill_queue if expired(requests[i])]:
-            prefill_queue.remove(idx)
-            req = requests[idx]
-            for j in range(req.n):
-                self._shed_queued(req, idx, j, t, metrics, "deadline")
-        for pp in [p for p in prefilling if expired(requests[p.req_idx])]:
-            prefilling.remove(pp)
-            cache.free_seq(pp.seq_id)
-            req = requests[pp.req_idx]
-            for j in range(req.n):
-                self._shed_queued(req, pp.req_idx, j, t, metrics, "deadline")
-        for s in [s for s in streams if s.deadline is not None and t > s.deadline]:
-            streams.remove(s)
-            cache.free_seq(s.seq_id)
-            self._shed_stream(s, t, metrics, "deadline")
-        for s in [s for s in preempted if s.deadline is not None and t > s.deadline]:
-            preempted.remove(s)
-            if s.seq_id >= 0:
-                cache.free_seq(s.seq_id)
-            self._shed_stream(s, t, metrics, "deadline")
-
-    def _shed_overload(
-        self, t, requests, prefill_queue, preempted, cache, metrics
-    ) -> None:
-        """Capacity-blocked with nothing running: shed the youngest unit of
-        queued work instead of aborting the whole run."""
-        if prefill_queue:
-            idx = prefill_queue.pop()  # youngest admitted request
-            req = requests[idx]
-            for j in range(req.n):
-                self._shed_queued(req, idx, j, t, metrics, "overload")
-        else:
-            s = preempted.pop()  # youngest preempted stream
-            if s.seq_id >= 0:
-                cache.free_seq(s.seq_id)
-                s.seq_id = -1
-            self._shed_stream(s, t, metrics, "overload")
-
-    def _scrub(
-        self, t, requests, prefill_queue, prefilling, streams, preempted,
-        cache, metrics,
-    ) -> None:
-        """Detect corrupted pages and roll their owners back.
-
-        Runs at the top of every step, before any extend/COW can copy a
-        corrupted page: a stream holding one is truncated to its last
-        verified page boundary and re-prefills the rest (recompute) through
-        the preemption machinery; cached prefixes are evicted; partial
-        prefills restart.  Per-stream retries are bounded; exceeding the
-        bound sheds the stream.
-        """
-        bad = cache.find_corrupted()
-        if not bad:
-            return
-        bad_set = set(bad)
-        resil = self.resilience
-        self._count("checksum_failures", len(bad))
-        self._fault_event("corrupt", "detected", t, detail=f"pages {bad}")
-        for group, (pages, _length) in list(self._prefix_registry.items()):
-            if bad_set.intersection(pages):
-                cache.release_pages(pages)
-                del self._prefix_registry[group]
-        for pp in [p for p in prefilling if bad_set.intersection(cache.seq_pages(p.seq_id))]:
-            prefilling.remove(pp)
-            cache.free_seq(pp.seq_id)
-            req = requests[pp.req_idx]
-            n_retry = self._prefill_retries.get(pp.req_idx, 0) + 1
-            self._prefill_retries[pp.req_idx] = n_retry
-            if n_retry > resil.max_retries:
-                for j in range(req.n):
-                    self._shed_queued(req, pp.req_idx, j, t, metrics, "retries")
-            else:
-                self._count("retries")
-                self._fault_event("corrupt", "retry", t, req_id=pp.req_idx,
-                                  detail="partial prefill restarted")
-                prefill_queue.appendleft(pp.req_idx)
-        for s in [s for s in streams if bad_set.intersection(cache.seq_pages(s.seq_id))]:
-            streams.remove(s)
-            self._rollback_stream(s, bad_set, t, preempted, cache, metrics)
-        for s in [
-            s for s in preempted
-            if s.seq_id >= 0 and bad_set.intersection(cache.seq_pages(s.seq_id))
-        ]:
-            preempted.remove(s)
-            self._rollback_stream(s, bad_set, t, preempted, cache, metrics)
-
-    def _rollback_stream(
-        self, s: _Stream, bad_set, t, preempted, cache, metrics
-    ) -> None:
-        """Truncate a corrupted stream to its last verified page boundary
-        and queue the recompute, or shed it if its retry budget is spent."""
-        pages = cache.seq_pages(s.seq_id)
-        first_bad = min(i for i, p in enumerate(pages) if p in bad_set)
-        keep = first_bad * cache.page_size
-        s.resume_len = max(cache.seq_len(s.seq_id), s.resume_len)
-        if keep > 0:
-            cache.truncate(s.seq_id, keep)
-        else:
-            cache.free_seq(s.seq_id)
-            s.seq_id = -1
-        s.retries += 1
-        if s.retries > self.resilience.max_retries:
-            if s.seq_id >= 0:
-                cache.free_seq(s.seq_id)
-                s.seq_id = -1
-            self._shed_stream(s, t, metrics, "retries")
-        else:
-            self._count("retries")
-            self._fault_event(
-                "corrupt", "retry", t, req_id=s.req_idx,
-                detail=f"rolled back to {keep}/{s.resume_len} tokens",
-            )
-            preempted.append(s)
-
-    def _inject_corruption(self, cache: PagedKVCache, t: float) -> None:
-        """End-of-step KV corruption: pick a live page from the plan's
-        ``corrupt`` stream.  The scrub at the top of the next step (or the
-        taint path, when detection is off) observes it."""
-        plan = self.fault_plan
-        if plan is None:
-            return
-        used = cache.used_pages()
-        if not used:
-            return
-        if plan.fire("corrupt"):
-            page = used[plan.choose("corrupt", len(used))]
-            cache.corrupt_page(page)
-            self._fault_event("corrupt", "injected", t, detail=f"page {page}")
-
-    def _record_token(self, s: _Stream, cache: PagedKVCache) -> None:
-        tok = _token(s.req_idx, s.gen_index, len(s.trace.tokens))
-        if self._taint and s.seq_id >= 0 and cache.seq_is_corrupt(s.seq_id):
-            tok += _TOKEN_VOCAB  # decoded from corrupted KV, undetected
-        s.trace.tokens.append(tok)
-
-    def _spawn_stream(
-        self, req: Request, idx: int, gen: int, seq_id: int, t: float,
-        cache, streams, metrics,
-    ) -> None:
-        trace = RequestTrace(arrival=req.arrival, first_token_time=t)
-        stream = _Stream(idx, seq_id, req.output_len - 1, trace)
-        if self._degrade is not None:
-            trace.req_id = idx
-            trace.gen_index = gen
-            stream.gen_index = gen
-            stream.deadline = self._deadline_for(req)
-            if self.resilience.record_tokens:
-                trace.tokens = [_token(idx, gen, 0)]
-        streams.append(stream)
-        if req.output_len - 1 == 0:
-            self._finish(stream, cache, streams, metrics)
+    def _step_is_degraded(self) -> bool:
+        return self._degrade is not None and self._degrade.degraded
 
     def _fault_stats(self, plan: Optional[FaultPlan], metrics: ServingMetrics) -> Dict[str, float]:
         c = self._fault_counters
@@ -610,10 +240,6 @@ class ServingEngine:
         if resil_on:
             self._degrade = DegradeController(resil.degrade_after, resil.anneal_after)
             self._fault_counters = {}
-            self._prefill_retries = {}
-            self._fault_penalty = 0.0
-            self._step_backend = self.backend
-            self._step_degraded = False
             self._taint = plan is not None and not resil.checksums
             self._deadlines_active = resil.deadline is not None or any(
                 r.deadline is not None for r in requests
@@ -623,6 +249,10 @@ class ServingEngine:
             self.backend.set_fault_injector(plan)
         else:
             self._degrade = None
+        pc = self.plan_cache
+        if pc is not None:
+            pc.bind(cfg.page_size, cfg.num_pool_pages)
+            pc_before = (pc.hits, pc.misses)
         cache = PagedKVCache(
             cfg.num_pool_pages, cfg.page_size, self.heads.num_kv_heads,
             self.heads.head_dim, materialize=False,
@@ -631,74 +261,52 @@ class ServingEngine:
         if resil_on:
             cache.fault_injector = plan
         self._cache = cache
-        #: prefix_group → (cached pages, cached token count), page-aligned.
-        self._prefix_registry: dict = {}
-        metrics = ServingMetrics()
-        waiting: Deque[int] = deque(range(len(requests)))
-        prefill_queue: Deque[int] = deque()
-        streams: List[_Stream] = []
-        prefilling: Deque[_PartialPrefill] = deque()
-        preempted: Deque[_Stream] = deque()
+
+        # -- wire the pipeline for this run ----------------------------------
+        state = RunState(
+            requests=requests, cache=cache, metrics=ServingMetrics(),
+            waiting=deque(range(len(requests))),
+        )
+        self._prefix_registry = state.prefix_registry  # back-compat alias
+        admission = AdmissionController(self, state)
+        former = BatchFormer(self, state, admission)
+        executor = StepExecutor(self, state)
+        post = Postprocessor(self, state, executor)
+        scrubber = KVScrubber(self, state, admission) if resil_on else None
+        metrics = state.metrics
+        default_deadline = resil.deadline if resil_on else None
         t = 0.0
 
-        def admit() -> None:
-            while waiting and requests[waiting[0]].arrival <= t:
-                idx = waiting[0]
-                if len(streams) + len(prefill_queue) + requests[idx].n > cfg.max_running:
-                    break
-                prefill_queue.append(idx)
-                waiting.popleft()
-
-        def fits(tokens: int) -> bool:
-            """Admission control: keep one page of decode headroom per
-            live stream so prefill cannot starve running decodes."""
-            need = -(-tokens // cfg.page_size) + len(streams)
-            return cache.num_free_pages >= need
-
-        def fits_resume(s: _Stream) -> bool:
-            if s.seq_id >= 0:
-                # Partial rollback: only the truncated tail needs pages.
-                need = (
-                    -(-s.resume_len // cfg.page_size)
-                    - len(cache.seq_pages(s.seq_id))
-                    + len(streams)
-                )
-                return cache.num_free_pages >= need
-            return fits(s.resume_len)
-
-        while waiting or prefill_queue or prefilling or streams or preempted:
-            admit()
+        while state.has_work():
+            admission.admit(t)
+            self._policy.order(
+                state.prefill_queue, requests, t, default_deadline=default_deadline
+            )
             if self._degrade is not None:
                 if self._deadlines_active:
-                    self._shed_expired(
-                        t, requests, prefill_queue, prefilling, streams,
-                        preempted, cache, metrics,
-                    )
+                    admission.shed_expired(t)
                 if resil.checksums:
-                    self._scrub(
-                        t, requests, prefill_queue, prefilling, streams,
-                        preempted, cache, metrics,
-                    )
+                    scrubber.scrub(t)
             t_before = t
-            if preempted and fits_resume(preempted[0]):
+            step = None
+            if state.preempted and admission.fits_resume(state.preempted[0]):
                 # Preempted streams resume first (their KV is recomputed).
-                t = self._resume_step(t, preempted, cache, streams, metrics)
-            elif cfg.chunked_prefill and (prefill_queue or prefilling or streams):
-                t = self._mixed_step(
-                    t, requests, prefill_queue, prefilling, cache, streams,
-                    metrics, preempted,
-                )
+                step = former.form_resume(t)
+            elif cfg.chunked_prefill and (
+                state.prefill_queue or state.prefilling or state.streams
+            ):
+                step = former.form_mixed(t)
             elif (
                 not cfg.chunked_prefill
-                and prefill_queue
-                and fits(requests[prefill_queue[0]].prompt_len)
+                and state.prefill_queue
+                and admission.fits(requests[state.prefill_queue[0]].prompt_len)
             ):
-                t = self._prefill_step(t, requests, prefill_queue, cache, streams, metrics)
-            elif not cfg.chunked_prefill and streams:
-                t = self._decode_step(t, requests, cache, streams, metrics, preempted)
-            elif preempted or prefill_queue:
+                step = former.form_prefill(t)
+            elif not cfg.chunked_prefill and state.streams:
+                step = former.form_decode(t)
+            elif state.preempted or state.prefill_queue:
                 if self._degrade is not None and resil.shed_on_overload:
-                    self._shed_overload(t, requests, prefill_queue, preempted, cache, metrics)
+                    admission.shed_overload(t)
                     continue
                 # Capacity-blocked with nothing running to free pages.
                 raise OutOfPagesError(
@@ -706,14 +314,19 @@ class ServingEngine:
                     "work running; increase EngineConfig.num_pool_pages "
                     f"({cache._stats_brief()})"
                 )
-            elif waiting:
-                t_next = max(t, requests[waiting[0]].arrival)
+            elif state.waiting:
+                t_next = max(t, requests[state.waiting[0]].arrival)
                 if self._tracer is not None and t_next > t:
-                    self._emit_idle(t, t_next)
+                    post._emit_idle(t, t_next)
                 t = t_next
                 continue
             else:
                 break
+            if step is not None:
+                # A None step means everything alloc-faulted away; the
+                # end-of-step resilience hooks below still run.
+                t0, t, attn = executor.execute(step, t)
+                post.finalize(step, t0, t, attn)
             if self._degrade is not None:
                 if resil.step_budget is not None and (t - t_before) > resil.step_budget:
                     self._count("watchdog_flags")
@@ -721,461 +334,18 @@ class ServingEngine:
                         "watchdog", "flagged", t,
                         detail=f"step took {t - t_before:.6f}s > {resil.step_budget:.6f}s",
                     )
-                self._inject_corruption(cache, t)
+                scrubber.inject(t)
         metrics.total_time = t
+        if pc is not None:
+            metrics.plan_cache_stats = pc.stats(since=pc_before)
         if self._tracer is not None:
+            if pc is not None:
+                self._tracer.note_plan_cache(
+                    pc.hits - pc_before[0], pc.misses - pc_before[1]
+                )
             metrics.step_stats = self._tracer.counters()
         if self._degrade is not None:
             metrics.fault_stats = self._fault_stats(plan, metrics)
             if plan is not None:
                 self.backend.set_fault_injector(None)
         return metrics
-
-    # -- phases --------------------------------------------------------------------
-
-    def _cached_prefix(self, req: Request):
-        """Cached (pages, token count) usable by ``req``, if any.
-
-        The reusable length is capped below the full prompt — the last
-        token's logits must always be computed fresh.
-        """
-        cfg = self.config
-        if not (cfg.prefix_caching and req.prefix_group is not None):
-            return None
-        entry = self._prefix_registry.get(req.prefix_group)
-        if entry is None:
-            return None
-        pages, cached_len = entry
-        usable = min(cached_len, ((req.prompt_len - 1) // cfg.page_size) * cfg.page_size)
-        if usable <= 0:
-            return None
-        return pages[: usable // cfg.page_size], usable
-
-    def _register_prefix(self, req: Request, cache: PagedKVCache, seq_id: int) -> None:
-        """Cache a freshly prefilled request's shared-prefix pages."""
-        cfg = self.config
-        if not (cfg.prefix_caching and req.prefix_group is not None):
-            return
-        if req.prefix_group in self._prefix_registry:
-            return
-        aligned = (req.prefix_len // cfg.page_size) * cfg.page_size
-        if aligned < cfg.page_size:
-            return
-        pages = cache.seq_pages(seq_id)[: aligned // cfg.page_size]
-        cache.retain_pages(pages)
-        self._prefix_registry[req.prefix_group] = (pages, aligned)
-
-    def _start_prefill_seq(self, cache: PagedKVCache, req: Request):
-        """Create a sequence for ``req``, reusing cached prefix pages.
-
-        Returns ``(seq_id, tokens_to_prefill)``.
-        """
-        hit = self._cached_prefix(req)
-        if hit is not None:
-            pages, cached = hit
-            sid = cache.new_seq(shared_pages=pages, shared_len=cached)
-            self._step_prefix_hits += 1
-            return sid, req.prompt_len - cached
-        return cache.new_seq(), req.prompt_len
-
-    def _requeue_alloc_failed(
-        self, idx: int, t: float, prefill_queue, requests, metrics
-    ) -> None:
-        """A queued prompt hit a transient allocation fault: retry it at the
-        head of the queue, or shed it once its retry budget is spent."""
-        self._count("alloc_faults")
-        self._fault_event("alloc", "injected", t, req_id=idx)
-        n_retry = self._prefill_retries.get(idx, 0) + 1
-        self._prefill_retries[idx] = n_retry
-        if n_retry > self.resilience.max_retries:
-            req = requests[idx]
-            for j in range(req.n):
-                self._shed_queued(req, idx, j, t, metrics, "retries")
-        else:
-            self._count("retries")
-            self._fault_event("alloc", "retry", t, req_id=idx)
-            prefill_queue.appendleft(idx)
-
-    def _prefill_step(
-        self, t, requests, prefill_queue, cache, streams, metrics
-    ) -> float:
-        cfg = self.config
-        batch: List[int] = []
-        tokens = 0
-        pages_left = cache.num_free_pages - len(streams)  # decode headroom
-        while prefill_queue and (
-            not batch or tokens + requests[prefill_queue[0]].prompt_len <= cfg.max_prefill_tokens
-        ):
-            nxt = requests[prefill_queue[0]].prompt_len
-            need = -(-nxt // cfg.page_size)
-            if batch and need > pages_left:
-                break
-            idx = prefill_queue.popleft()
-            batch.append(idx)
-            tokens += nxt
-            pages_left -= need
-
-        ok_batch: List[int] = []
-        seqs = []
-        qo_lens = []
-        for idx in batch:
-            sid, new_tokens = self._start_prefill_seq(cache, requests[idx])
-            try:
-                cache.extend(sid, new_tokens)
-            except TransientAllocFault:
-                cache.free_seq(sid)
-                self._requeue_alloc_failed(idx, t, prefill_queue, requests, metrics)
-                continue
-            self._register_prefix(requests[idx], cache, sid)
-            ok_batch.append(idx)
-            seqs.append(sid)
-            qo_lens.append(new_tokens)
-        if not seqs:
-            return t
-        tokens = sum(qo_lens)
-        mapping = AttentionMapping(
-            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
-            cache.layout(seqs),
-            causal=True,
-        )
-        attn = self._attention(mapping, decode=False, t=t)
-        t0, t = t, t + self._step_time(attn, tokens)
-
-        for idx, sid in zip(ok_batch, seqs):
-            req = requests[idx]
-            for j in range(req.n):
-                stream_seq = sid if j == req.n - 1 else cache.fork_seq(sid)
-                self._spawn_stream(req, idx, j, stream_seq, t, cache, streams, metrics)
-        if self._tracer is not None:
-            self._emit_step(
-                "prefill", t0, t, attn, tokens, 0, len(streams), cache, 0
-            )
-        return t
-
-    def _mixed_step(
-        self, t, requests, prefill_queue, prefilling, cache, streams,
-        metrics, preempted=None,
-    ) -> float:
-        """One chunked-prefill step: all decode streams plus up to
-        ``prefill_chunk_size`` prompt tokens piggybacked (Sarathi-serve)."""
-        cfg = self.config
-        preempt_before = metrics.preemptions
-        self._ensure_decode_capacity(cache, streams, metrics, preempted)
-        alloc_failed: List[_Stream] = []
-        for s in streams:
-            try:
-                cache.extend(s.seq_id, 1)
-            except TransientAllocFault:
-                alloc_failed.append(s)
-        for s in alloc_failed:
-            self._preempt_alloc_failed(s, t, streams, preempted, cache, metrics)
-
-        budget = cfg.prefill_chunk_size
-        segments: List[tuple] = []  # (_PartialPrefill, chunk)
-        while budget > 0:
-            if not prefilling:
-                if not prefill_queue:
-                    break
-                idx = prefill_queue.popleft()
-                sid, _ = self._start_prefill_seq(cache, requests[idx])
-                pp = _PartialPrefill(idx, sid)
-                pp.filled = cache.seq_len(sid)  # cached prefix already present
-                prefilling.append(pp)
-            pp = prefilling[0]
-            remaining = requests[pp.req_idx].prompt_len - pp.filled
-            chunk = min(budget, remaining)
-            # Admission control: leave decode headroom (one page/stream).
-            need = -(-chunk // cfg.page_size) + 1
-            headroom = cache.num_free_pages - len(streams)
-            if need > headroom:
-                chunk = max((headroom - 1) * cfg.page_size, 0)
-                if chunk == 0:
-                    break
-            pre_len = cache.seq_len(pp.seq_id)
-            try:
-                cache.extend(pp.seq_id, chunk)
-            except TransientAllocFault:
-                cache.truncate(pp.seq_id, pre_len)  # drop partial growth
-                self._chunk_alloc_failed(pp, t, prefilling, requests, metrics)
-                break
-            segments.append((pp, chunk))
-            budget -= chunk
-            pp.filled += chunk
-            if pp.filled == requests[pp.req_idx].prompt_len:
-                self._register_prefix(requests[pp.req_idx], cache, pp.seq_id)
-                prefilling.popleft()
-            else:
-                break  # the partial prompt keeps the head of the queue
-
-        if self._degrade is not None and not streams and not segments:
-            return t
-        seq_ids = [s.seq_id for s in streams] + [pp.seq_id for pp, _ in segments]
-        qo_lens = [1] * len(streams) + [chunk for _, chunk in segments]
-        mapping = AttentionMapping(
-            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
-            cache.layout(seq_ids),
-            causal=True,
-        )
-        formats: "ComposableFormat | AttentionMapping" = mapping
-        if cfg.composable and self.backend.supports_composable and not self._step_is_degraded():
-            clusters = self._fork_clusters(requests, streams, cache)
-            if clusters:
-                formats = decompose_shared_prefix(mapping, clusters)
-        attn = self._attention(formats, decode=not segments, t=t, fallback_mapping=mapping)
-        prefill_tokens = sum(chunk for _, chunk in segments)
-        n_decode = len(streams)
-        t0, t = t, t + self._step_time(attn, n_decode + prefill_tokens)
-
-        # Prompts whose last chunk landed this step start decoding.
-        for pp, _ in segments:
-            req = requests[pp.req_idx]
-            if pp.filled == req.prompt_len:
-                for j in range(req.n):
-                    sid = pp.seq_id if j == req.n - 1 else cache.fork_seq(pp.seq_id)
-                    self._spawn_stream(req, pp.req_idx, j, sid, t, cache, streams, metrics)
-
-        finished = []
-        record = self._degrade is not None and self.resilience.record_tokens
-        for s in streams:
-            if s.trace.first_token_time == t:
-                continue  # spawned this step; first decode token comes next
-            s.trace.token_times.append(t)
-            if record:
-                self._record_token(s, cache)
-            s.remaining -= 1
-            if s.remaining <= 0:
-                finished.append(s)
-        for s in finished:
-            self._finish(s, cache, streams, metrics)
-        if self._tracer is not None:
-            self._emit_step(
-                "mixed", t0, t, attn, prefill_tokens, n_decode, len(streams),
-                cache, metrics.preemptions - preempt_before,
-            )
-        return t
-
-    def _step_is_degraded(self) -> bool:
-        return self._degrade is not None and self._degrade.degraded
-
-    def _preempt_alloc_failed(
-        self, s: _Stream, t, streams, preempted, cache, metrics
-    ) -> None:
-        """A decode extend hit a transient allocation fault: preempt the
-        stream (recompute later) or shed it when out of retries."""
-        self._count("alloc_faults")
-        self._fault_event("alloc", "injected", t, req_id=s.req_idx)
-        streams.remove(s)
-        s.resume_len = cache.seq_len(s.seq_id)
-        cache.free_seq(s.seq_id)
-        s.seq_id = -1
-        s.retries += 1
-        if s.retries > self.resilience.max_retries:
-            self._shed_stream(s, t, metrics, "retries")
-        else:
-            self._count("retries")
-            self._fault_event("alloc", "retry", t, req_id=s.req_idx)
-            preempted.append(s)
-
-    def _chunk_alloc_failed(
-        self, pp: _PartialPrefill, t, prefilling, requests, metrics
-    ) -> None:
-        """A prefill chunk hit a transient allocation fault: the partial
-        prompt keeps the queue head and retries next step, unless its
-        request's retry budget is spent."""
-        self._count("alloc_faults")
-        self._fault_event("alloc", "injected", t, req_id=pp.req_idx)
-        n_retry = self._prefill_retries.get(pp.req_idx, 0) + 1
-        self._prefill_retries[pp.req_idx] = n_retry
-        if n_retry > self.resilience.max_retries:
-            prefilling.remove(pp)
-            self._cache.free_seq(pp.seq_id)
-            req = requests[pp.req_idx]
-            for j in range(req.n):
-                self._shed_queued(req, pp.req_idx, j, t, metrics, "retries")
-        else:
-            self._count("retries")
-            self._fault_event("alloc", "retry", t, req_id=pp.req_idx)
-
-    def _decode_step(self, t, requests, cache, streams, metrics, preempted=None) -> float:
-        cfg = self.config
-        preempt_before = metrics.preemptions
-        self._ensure_decode_capacity(cache, streams, metrics, preempted)
-        alloc_failed: List[_Stream] = []
-        for s in streams:
-            try:
-                cache.extend(s.seq_id, 1)
-            except TransientAllocFault:
-                alloc_failed.append(s)
-        for s in alloc_failed:
-            self._preempt_alloc_failed(s, t, streams, preempted, cache, metrics)
-        if self._degrade is not None and not streams:
-            return t
-        seq_ids = [s.seq_id for s in streams]
-        mapping = AttentionMapping(
-            np.arange(len(streams) + 1, dtype=np.int64),
-            cache.layout(seq_ids),
-            causal=True,
-        )
-        formats: "ComposableFormat | AttentionMapping" = mapping
-        if cfg.composable and self.backend.supports_composable and not self._step_is_degraded():
-            clusters = self._fork_clusters(requests, streams, cache)
-            if clusters:
-                formats = decompose_shared_prefix(mapping, clusters)
-        attn = self._attention(formats, decode=True, t=t, fallback_mapping=mapping)
-        n_decode = len(streams)
-        t0, t = t, t + self._step_time(attn, n_decode)
-
-        finished = []
-        record = self._degrade is not None and self.resilience.record_tokens
-        for s in streams:
-            s.trace.token_times.append(t)
-            if record:
-                self._record_token(s, cache)
-            s.remaining -= 1
-            if s.remaining <= 0:
-                finished.append(s)
-        for s in finished:
-            self._finish(s, cache, streams, metrics)
-        if self._tracer is not None:
-            self._emit_step(
-                "decode", t0, t, attn, 0, n_decode, len(streams), cache,
-                metrics.preemptions - preempt_before,
-            )
-        return t
-
-    def _ensure_decode_capacity(self, cache, streams, metrics, preempted) -> None:
-        """Preempt-by-recompute when the page pool cannot absorb this step.
-
-        vLLM-style backpressure: the youngest streams are evicted (their
-        pages freed) and later re-prefilled from scratch; without it a
-        full pool would abort the whole serving run mid-flight.
-        """
-
-        def pages_needed() -> int:
-            needed = 0
-            for s in streams:
-                length = cache.seq_len(s.seq_id)
-                if length % cache.page_size == 0:
-                    needed += 1
-                else:
-                    last = cache.seq_pages(s.seq_id)[-1]
-                    if cache.page_refcount(last) > 1:
-                        needed += 1  # copy-on-write of a shared partial page
-            return needed
-
-        while cache.num_free_pages < pages_needed():
-            if len(streams) <= 1:
-                raise OutOfPagesError(
-                    "KV pool too small for even one stream; increase "
-                    f"EngineConfig.num_pool_pages ({cache._stats_brief()})"
-                )
-            victim = streams.pop()  # youngest stream
-            victim.resume_len = cache.seq_len(victim.seq_id)
-            cache.free_seq(victim.seq_id)
-            victim.seq_id = -1
-            if preempted is None:
-                raise OutOfPagesError(
-                    f"pool exhausted and preemption unavailable ({cache._stats_brief()})"
-                )
-            preempted.append(victim)
-            metrics.preemptions += 1
-
-    def _resume_tokens(self, s: _Stream, cache: PagedKVCache) -> int:
-        """Tokens to recompute when resuming ``s``: everything after the
-        verified pages a rollback kept (all of them for a full eviction)."""
-        if s.seq_id >= 0:
-            return s.resume_len - cache.seq_len(s.seq_id)
-        return s.resume_len
-
-    def _resume_pages(self, s: _Stream, cache: PagedKVCache) -> int:
-        if s.seq_id >= 0:
-            return -(-s.resume_len // cache.page_size) - len(cache.seq_pages(s.seq_id))
-        return -(-s.resume_len // cache.page_size)
-
-    def _resume_step(self, t, preempted, cache, streams, metrics) -> float:
-        """Re-prefill preempted streams' KV (recompute) and resume decoding."""
-        cfg = self.config
-        batch: List[_Stream] = []
-        tokens = 0
-        pages_left = cache.num_free_pages - len(streams)
-        while preempted and (
-            not batch
-            or tokens + self._resume_tokens(preempted[0], cache) <= cfg.max_prefill_tokens
-        ):
-            # Only resume what the pool can hold right now.
-            need = self._resume_pages(preempted[0], cache)
-            if batch and need > pages_left:
-                break
-            stream = preempted.popleft()
-            batch.append(stream)
-            tokens += self._resume_tokens(stream, cache)
-            pages_left -= need
-        ok: List[_Stream] = []
-        qo_lens = []
-        for stream in batch:
-            sid = stream.seq_id if stream.seq_id >= 0 else cache.new_seq()
-            kept = cache.seq_len(sid)
-            recompute = stream.resume_len - kept
-            try:
-                cache.extend(sid, recompute)
-            except TransientAllocFault:
-                if stream.seq_id >= 0:
-                    cache.truncate(sid, kept)
-                else:
-                    cache.free_seq(sid)
-                self._count("alloc_faults")
-                self._fault_event("alloc", "injected", t, req_id=stream.req_idx)
-                stream.retries += 1
-                if stream.retries > self.resilience.max_retries:
-                    if stream.seq_id >= 0:
-                        cache.free_seq(stream.seq_id)
-                        stream.seq_id = -1
-                    self._shed_stream(stream, t, metrics, "retries")
-                else:
-                    self._count("retries")
-                    self._fault_event("alloc", "retry", t, req_id=stream.req_idx)
-                    preempted.appendleft(stream)
-                continue
-            stream.seq_id = sid
-            ok.append(stream)
-            qo_lens.append(recompute)
-        if not ok:
-            return t
-        tokens = sum(qo_lens)
-        mapping = AttentionMapping(
-            np.concatenate([[0], np.cumsum(qo_lens)]).astype(np.int64),
-            cache.layout([s.seq_id for s in ok]),
-            causal=True,
-        )
-        attn = self._attention(mapping, decode=False, t=t)
-        t0, t = t, t + self._step_time(attn, tokens)
-        streams.extend(ok)
-        if self._tracer is not None:
-            self._emit_step(
-                "resume", t0, t, attn, tokens, 0, len(streams), cache, 0
-            )
-        return t
-
-    def _fork_clusters(self, requests, streams, cache) -> List[PrefixCluster]:
-        """Consecutive streams of the same request share its prompt pages."""
-        cfg = self.config
-        clusters: List[PrefixCluster] = []
-        i = 0
-        while i < len(streams):
-            j = i
-            while j + 1 < len(streams) and streams[j + 1].req_idx == streams[i].req_idx:
-                j += 1
-            if j > i:
-                prompt = requests[streams[i].req_idx].prompt_len
-                aligned = (prompt // cfg.page_size) * cfg.page_size
-                if aligned >= cfg.page_size:
-                    clusters.append(PrefixCluster(tuple(range(i, j + 1)), aligned))
-            i = j + 1
-        return clusters
-
-    def _finish(self, stream, cache, streams, metrics) -> None:
-        if stream.trace.token_times or stream.remaining <= 0:
-            metrics.add(stream.trace)
-        cache.free_seq(stream.seq_id)
-        if stream in streams:
-            streams.remove(stream)

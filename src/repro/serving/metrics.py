@@ -65,6 +65,10 @@ class ServingMetrics:
     #: ``degraded_steps``, ``checksum_failures``, …); attached by the engine
     #: only on resilience runs so a plain run's summary is unchanged.
     fault_stats: Optional[Dict[str, float]] = None
+    #: Plan-cache accounting for the run (``plan_cache_hits``,
+    #: ``plan_cache_misses``, ``plan_cache_hit_rate``, ``plan_cache_entries``);
+    #: attached by the engine when its :class:`repro.serving.PlanCache` is on.
+    plan_cache_stats: Optional[Dict[str, float]] = None
 
     def add(self, trace: RequestTrace) -> None:
         self.traces.append(trace)
@@ -120,6 +124,8 @@ class ServingMetrics:
         if self.step_stats:
             for key, value in self.step_stats.items():
                 out[f"obs_{key}"] = value
+        if self.plan_cache_stats is not None:
+            out.update(self.plan_cache_stats)
         if self.fault_stats is not None:
             out.update(self.fault_stats)
             # Per-request shed records: which stream was shed, and when.

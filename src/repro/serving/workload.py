@@ -43,6 +43,9 @@ class Request:
     #: shed this request; ``None`` falls back to the engine-wide
     #: ``ResilienceConfig.deadline`` (which may also be ``None``: no limit).
     deadline: Optional[float] = None
+    #: Scheduling weight consumed by the ``priority`` policy (higher runs
+    #: first); ignored by ``fcfs``.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0 or self.n <= 0:

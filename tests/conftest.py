@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core import HeadConfig
-from repro.sparse import AttentionMapping, BlockSparseKV, kv_from_page_table
+from repro.sparse import AttentionMapping, kv_from_page_table
 from repro.utils.dtypes import StorageDType, round_to_storage
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from conftest import fp16, make_paged_mapping
-from repro import A100_40G, H100_80G
+from repro import A100_40G
 from repro.baselines import (
     FlashAttentionBaseline,
     naive_attention,

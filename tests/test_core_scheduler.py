@@ -1,6 +1,5 @@
 """Tests for the load-balanced scheduler (paper Algorithm 1)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

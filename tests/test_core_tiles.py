@@ -1,6 +1,5 @@
 """Tests for tile-size heuristics and occupancy (paper §3.2.2)."""
 
-import pytest
 
 from repro.core import select_kv_tile, select_q_tile, select_tiles
 from repro.core.tiles import ctas_per_sm, fused_query_length, regs_per_thread, smem_bytes

@@ -13,7 +13,6 @@ from repro.core import (
 )
 from repro.core.jit import clear_cache
 from repro.core.template import render_kernel_source
-from repro.utils.dtypes import StorageDType
 
 
 class TestVariantValidation:
@@ -219,7 +218,7 @@ class TestGeneratedKernelNumerics:
 class TestComposeVariants:
     def test_masks_and_together(self, rng):
         from repro.core import compose_variants
-        from repro.variants import make_sliding_window, make_attention_sink
+        from repro.variants import make_sliding_window
 
         a = make_sliding_window(8)
         b = AttentionVariant(name="even_only", logits_mask="(kv_pos % 2) == 0")

@@ -7,7 +7,6 @@ how the work was split and merged.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

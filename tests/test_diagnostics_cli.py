@@ -1,6 +1,5 @@
 """Tests for diagnostics rendering and the CLI entry point."""
 
-import numpy as np
 import pytest
 
 from conftest import make_paged_mapping

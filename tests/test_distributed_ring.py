@@ -5,7 +5,7 @@ import pytest
 
 from conftest import fp16
 from repro.core import HeadConfig, reference_attention
-from repro.distributed import RingAttention, RingReport
+from repro.distributed import RingAttention
 
 HEADS = HeadConfig(4, 2, 16)
 

@@ -1,6 +1,5 @@
 """Tests for CUDAGraph capture/replay semantics (paper §3.3.1, App. D.1)."""
 
-import numpy as np
 import pytest
 
 from conftest import make_paged_mapping

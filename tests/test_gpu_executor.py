@@ -1,10 +1,8 @@
 """Tests for the simulated GPU: cost model and event-driven executor."""
 
-import numpy as np
 import pytest
 
-from repro.gpu import A100_40G, H100_80G, GPUSpec, KernelCostModel, PersistentKernelExecutor, TileCost
-from repro.gpu.cost import TRANSACTION_BYTES
+from repro.gpu import A100_40G, H100_80G, KernelCostModel, PersistentKernelExecutor, TileCost
 
 
 def mem_tile(bytes_read, bytes_written=0.0):

@@ -1,6 +1,5 @@
 """Tests for the CUDAGraph pool (Listing 1's ``select_graph``)."""
 
-import numpy as np
 import pytest
 
 from conftest import make_paged_mapping

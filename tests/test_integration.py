@@ -1,7 +1,6 @@
 """Cross-module integration tests: cache managers feeding real attention."""
 
 import numpy as np
-import pytest
 
 from conftest import fp16
 from repro import BatchAttentionWrapper, ComposableAttentionWrapper, WorkspaceBuffer

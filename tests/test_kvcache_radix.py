@@ -1,7 +1,5 @@
 """Tests for the radix-tree prefix cache."""
 
-import numpy as np
-import pytest
 
 from repro.kvcache import PagedKVCache, RadixTree
 

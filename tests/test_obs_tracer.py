@@ -130,12 +130,12 @@ class TestReconciliation:
 class TestZeroOverheadWhenDisabled:
     def test_no_event_objects_allocated(self, monkeypatch):
         """An untraced run must never construct a StepEvent."""
-        import repro.serving.engine as engine_mod
+        import repro.serving.executor as executor_mod
 
         def bomb(*a, **kw):
             raise AssertionError("StepEvent allocated without a tracer")
 
-        monkeypatch.setattr(engine_mod, "StepEvent", bomb)
+        monkeypatch.setattr(executor_mod, "StepEvent", bomb)
         reqs = [Request(i * 0.002, 200, 10) for i in range(3)]
         metrics = make_engine().run(reqs)
         assert metrics.total_output_tokens == 30

@@ -1,7 +1,5 @@
 """Additional scheduler behaviours: hyperparameters, causal weighting."""
 
-import numpy as np
-import pytest
 
 from repro.core import plan_schedule
 from repro.core.scheduler import DEFAULT_ALPHA, DEFAULT_BETA

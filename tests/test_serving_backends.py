@@ -1,6 +1,5 @@
 """Unit tests for the serving attention backends."""
 
-import numpy as np
 import pytest
 
 from conftest import make_paged_mapping

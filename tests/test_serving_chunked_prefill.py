@@ -1,7 +1,5 @@
 """Tests for Sarathi-serve-style chunked prefill in the engine."""
 
-import numpy as np
-import pytest
 
 from repro.core import HeadConfig
 from repro.gpu import H100_80G

@@ -1,6 +1,5 @@
 """Tests for the continuous-batching serving engine and backends."""
 
-import numpy as np
 import pytest
 
 from repro.core import HeadConfig

@@ -1,6 +1,5 @@
 """Tests for preemption-by-recompute under KV-pool pressure."""
 
-import numpy as np
 import pytest
 
 from repro.core import HeadConfig

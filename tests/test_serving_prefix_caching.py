@@ -1,6 +1,5 @@
 """Tests for radix-style cross-request prefix caching in the engine."""
 
-import numpy as np
 import pytest
 
 from repro.core import HeadConfig

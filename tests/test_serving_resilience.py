@@ -8,7 +8,7 @@ degradation are deterministic functions of the seed.
 import pytest
 
 from repro.core import HeadConfig
-from repro.faults import FaultPlan, ResilienceConfig, chaos_plan
+from repro.faults import FaultPlan, ResilienceConfig
 from repro.gpu import H100_80G
 from repro.kvcache import OutOfPagesError
 from repro.serving import (

@@ -1,9 +1,8 @@
 """Tests for the P99-TTFT operating-point search."""
 
-import numpy as np
 import pytest
 
-from repro.serving import OperatingPoint, RequestTrace, ServingMetrics, find_max_rate
+from repro.serving import RequestTrace, ServingMetrics, find_max_rate
 
 
 def fake_runner(knee: float):

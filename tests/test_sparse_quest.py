@@ -6,7 +6,7 @@ import pytest
 from conftest import fp16, make_paged_mapping
 from repro import BatchAttentionWrapper, WorkspaceBuffer
 from repro.core import HeadConfig, VANILLA, reference_attention
-from repro.sparse import PageSummaryStore, kv_from_page_table, quest_mapping, select_pages
+from repro.sparse import PageSummaryStore, quest_mapping, select_pages
 
 HEADS = HeadConfig(4, 2, 16)
 PAGE = 8

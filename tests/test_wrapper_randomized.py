@@ -1,7 +1,6 @@
 """Randomized end-to-end sweep: wrapper vs dense oracle over many configs."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
