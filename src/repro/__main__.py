@@ -86,13 +86,18 @@ def _cmd_serve(args) -> int:
     from repro.core import HeadConfig
     from repro.gpu import H100_80G
     from repro.serving import (
-        EngineConfig, FlashInferBackend, LLAMA_3_1_8B, ServingEngine,
-        TritonBackend, TRTLLMBackend, sharegpt_workload,
+        CheckpointConfig, DirectoryStore, EngineConfig, FlashInferBackend,
+        LLAMA_3_1_8B, ServingEngine, TritonBackend, TRTLLMBackend,
+        sharegpt_workload,
     )
 
     model = LLAMA_3_1_8B
     heads = HeadConfig(model.num_qo_heads, model.num_kv_heads, model.head_dim)
+    if args.recover:
+        return _serve_recover(args, model, heads)
     requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
+    if args.crash:
+        return _serve_crash(args, model, heads, requests)
     print(f"{args.requests} ShareGPT-like requests at {args.rate} req/s, {model.name} on H100")
     for make in (FlashInferBackend, TritonBackend, TRTLLMBackend):
         backend = make(heads, H100_80G)
@@ -103,9 +108,17 @@ def _cmd_serve(args) -> int:
             from repro.obs import StepTracer
 
             tracer = StepTracer()
+        # Checkpointing only instruments the system under test; the
+        # competitor backends stay on the plain hot path.
+        ckpt = store = None
+        if args.checkpoint_every > 0 and make is FlashInferBackend:
+            ckpt = CheckpointConfig(every_steps=args.checkpoint_every)
+            if args.journal:
+                store = DirectoryStore(args.journal)
         engine = ServingEngine(
             model, backend, H100_80G,
             EngineConfig(max_running=256, policy=args.policy), tracer=tracer,
+            checkpoint=ckpt, checkpoint_store=store,
         )
         s = engine.run(requests).summary()
         print(
@@ -113,6 +126,12 @@ def _cmd_serve(args) -> int:
             f"TTFT {s['median_ttft'] * 1e3:6.1f} ms, "
             f"P99 TTFT {s['p99_ttft'] * 1e3:5.0f} ms"
         )
+        if ckpt is not None:
+            print(
+                f"             checkpoints: {int(s['ckpt_snapshots'])} snapshots, "
+                f"{int(s['ckpt_journal_records'])} journal records"
+                + (f" → {args.journal}" if args.journal else " (in memory)")
+            )
         if tracer is not None:
             from repro.obs import summary_table, write_chrome_trace, write_csv
 
@@ -199,6 +218,160 @@ def _serve_chaos(args, model, heads, requests) -> int:
     return 0 if divergent == 0 else 1
 
 
+def _serve_crash(args, model, heads, requests) -> int:
+    """The ``serve --crash N`` pass: an uninterrupted baseline, then a
+    kill/restore campaign (scripted deaths, plus seeded-random ones under
+    ``--crash-rate``) recovered via snapshot + journal replay, and a
+    token-exactness comparison between the two."""
+    from repro.faults import ResilienceConfig, chaos_plan
+    from repro.gpu import H100_80G
+    from repro.serving import (
+        CheckpointConfig, CheckpointStore, CrashHarness, DirectoryStore,
+        EngineConfig, FlashInferBackend, ServingEngine,
+    )
+
+    resil = ResilienceConfig(deadline=args.deadline, max_retries=args.max_retries)
+    cfg = EngineConfig(max_running=256, policy=args.policy)
+    every = args.checkpoint_every if args.checkpoint_every > 0 else 4
+
+    # Uninterrupted baseline: same workload, same fault seed (when --chaos),
+    # no deaths.  Every surviving stream must match it byte for byte.
+    baseline = ServingEngine(
+        model, FlashInferBackend(heads, H100_80G), H100_80G, cfg,
+        fault_plan=chaos_plan(args.chaos_seed) if args.chaos else None,
+        resilience=resil,
+    ).run(requests)
+    expected = {(t.req_id, t.gen_index): t.tokens for t in baseline.traces}
+
+    store = DirectoryStore(args.journal) if args.journal else CheckpointStore()
+    # One fault plan shared across process "lives" keeps the crash RNG
+    # stream advanced past already-fired deaths (recovery rewinds every
+    # other site stream to the snapshot).
+    shared_plan = None
+    if args.chaos or args.crash_rate > 0:
+        shared_plan = chaos_plan(
+            args.chaos_seed if args.chaos else 0, crash_rate=args.crash_rate
+        )
+        if not args.chaos:
+            for site in ("kernel", "corrupt", "alloc", "straggler"):
+                shared_plan.disarm(site)
+    tracer = None
+    if args.trace:
+        from repro.obs import StepTracer
+
+        tracer = StepTracer()
+
+    def factory():
+        return ServingEngine(
+            model, FlashInferBackend(heads, H100_80G), H100_80G, cfg,
+            tracer=tracer, fault_plan=shared_plan, resilience=resil,
+            checkpoint=CheckpointConfig(every_steps=every),
+            checkpoint_store=store,
+        )
+
+    # Alternate boundary and mid-step kills so any N >= 2 exercises both.
+    script = [
+        (3 + 4 * k, "mid-step" if k % 2 else "boundary") for k in range(args.crash)
+    ]
+    report = CrashHarness(
+        factory, requests, store, crash_script=script, expected_tokens=expected
+    ).run()
+
+    s = report.metrics.summary()
+    phases = ", ".join(
+        f"{p}×{report.crash_phases.count(p)}"
+        for p in dict.fromkeys(report.crash_phases)
+    )
+    print(f"\n  kill/restore ({args.crash} scripted kills, "
+          f"crash-rate {args.crash_rate}, snapshot every {every} steps):")
+    print(f"    crashes={report.crashes} ({phases}) recoveries={report.recoveries}")
+    print(
+        f"    snapshots={int(s['ckpt_snapshots'])} "
+        f"journal_records={int(s['ckpt_journal_records'])} "
+        f"replayed_tokens={int(s['recover_replayed_tokens'])} "
+        f"resumed_streams={int(s['recover_resumed'])}"
+    )
+    print(
+        f"    token_divergence={report.token_divergence} "
+        f"({report.compared} streams compared vs uninterrupted baseline)"
+    )
+    if args.journal:
+        print(f"    journal + snapshots → {args.journal}")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            args.trace, tracer.events,
+            metadata={"model": model.name, "backend": "flashinfer",
+                      "requests": args.requests, "rate": args.rate,
+                      "crashes": report.crashes},
+            fault_events=tracer.fault_events,
+        )
+        print(f"    recovery trace → {args.trace} "
+              f"({len(tracer.fault_events)} fault events embedded)")
+    ok = report.token_divergence == 0 and report.crashes >= args.crash
+    return 0 if ok else 1
+
+
+def _serve_recover(args, model, heads) -> int:
+    """The ``serve --recover`` cold start: open the journal directory from
+    a previous (killed) ``serve --checkpoint-every N --journal DIR`` run,
+    load and verify the latest snapshot, and resume it to completion."""
+    from repro.faults import FaultPlan
+    from repro.gpu import H100_80G
+    from repro.serving import (
+        CheckpointConfig, DirectoryStore, EngineConfig, FlashInferBackend,
+        NoSnapshotError, RecoveryManager, ServingEngine,
+        SnapshotIntegrityError, SnapshotVerificationError,
+    )
+
+    if not args.journal:
+        print("serve --recover needs --journal DIR (the directory the "
+              "crashed run was journaling to)", file=sys.stderr)
+        return 2
+    store = DirectoryStore(args.journal)
+    try:
+        recovered = RecoveryManager(store).recover()
+    except NoSnapshotError as exc:
+        print(f"nothing to recover: {exc}", file=sys.stderr)
+        return 1
+    except (SnapshotIntegrityError, SnapshotVerificationError) as exc:
+        print(f"refusing to resume: {exc}", file=sys.stderr)
+        return 1
+    snap = recovered.snapshot
+    print(
+        f"recovering {args.journal}: snapshot {recovered.snapshot_id} "
+        f"(step {snap['steps_done']}, t={snap['t']:.3f}s, "
+        f"{len(recovered.corrupt_pages)} KV pages to recompute, "
+        f"{recovered.replay.window_size if recovered.replay else 0} "
+        f"journaled tokens to replay)"
+    )
+    # Rebuild the fault plan from the snapshot, but keep the crash site
+    # disarmed: re-seeding the death we are recovering from would re-kill
+    # the resumed run at the same step, forever.
+    plan = None
+    if snap["fault_plan"] is not None:
+        plan = FaultPlan.from_state(snap["fault_plan"])
+        plan.disarm("crash")
+    every = args.checkpoint_every if args.checkpoint_every > 0 else 4
+    engine = ServingEngine(
+        model, FlashInferBackend(heads, H100_80G), H100_80G,
+        EngineConfig(max_running=256, policy=args.policy), fault_plan=plan,
+        checkpoint=CheckpointConfig(every_steps=every), checkpoint_store=store,
+    )
+    s = engine.resume(recovered).summary()
+    print(
+        f"  resumed to completion: ITL {s['median_itl'] * 1e3:6.2f} ms, "
+        f"TTFT {s['median_ttft'] * 1e3:6.1f} ms, "
+        f"{int(s['recover_resumed'])} streams resumed"
+    )
+    print(
+        f"  replay: {int(s['recover_replayed_tokens'])} journaled tokens "
+        f"re-verified, divergence={int(s['recover_token_divergence'])}"
+    )
+    return 0 if int(s["recover_token_divergence"]) == 0 else 1
+
+
 def _cmd_figures(args) -> int:
     print("Regenerate every paper figure (tables print with -s):")
     print("  pytest benchmarks/ --benchmark-only -s")
@@ -233,15 +406,17 @@ def main(argv=None) -> int:
     gen.add_argument("--top-k", type=int, default=8, dest="top_k")
     gen.add_argument("--seed", type=int, default=0)
 
+    from repro.serving.policy import available_policies
+
     serve = sub.add_parser("serve", help="compare serving backends")
     serve.add_argument("--requests", type=int, default=40)
     serve.add_argument("--rate", type=float, default=60.0)
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--policy", default="fcfs",
-        help="scheduling policy for the admitted prefill queue: fcfs "
-        "(default, token-exact with the classic engine), priority, "
-        "sla-aware, or any registered policy name",
+        help="scheduling policy for the admitted prefill queue; registered: "
+        f"{', '.join(available_policies())} "
+        "(default: fcfs, token-exact with the classic engine)",
     )
     serve.add_argument(
         "--trace", metavar="OUT.json", default=None,
@@ -270,6 +445,36 @@ def main(argv=None) -> int:
     serve.add_argument(
         "--max-retries", type=int, default=3, dest="max_retries",
         help="recompute retries per stream before it is shed (default: 3)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=0, dest="checkpoint_every",
+        metavar="N",
+        help="snapshot the full engine state every N executed steps "
+        "(0 = off, the default: no journal writes, no snapshot copies)",
+    )
+    serve.add_argument(
+        "--journal", metavar="DIR", default=None,
+        help="persist snapshots and the write-ahead request journal to DIR "
+        "(atomic snap-*.json files + journal.jsonl); omit for in-memory",
+    )
+    serve.add_argument(
+        "--recover", action="store_true",
+        help="cold start: load the latest snapshot from --journal DIR, "
+        "verify its KV pages, replay the journal window and resume the "
+        "killed run to completion",
+    )
+    serve.add_argument(
+        "--crash", type=int, default=0, metavar="N",
+        help="kill/restore campaign: inject N scripted engine deaths "
+        "(alternating step-boundary and mid-step), recover each from the "
+        "latest snapshot + journal, and verify token-exactness against an "
+        "uninterrupted baseline (composes with --chaos)",
+    )
+    serve.add_argument(
+        "--crash-rate", type=float, default=0.0, dest="crash_rate",
+        metavar="P",
+        help="additionally arm seeded-random engine death at probability P "
+        "per step phase (requires --crash for the kill/restore harness)",
     )
 
     sub.add_parser("figures", help="how to regenerate the paper figures")

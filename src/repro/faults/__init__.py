@@ -31,6 +31,7 @@ points and the recovery state machine.
 """
 
 from repro.faults.inject import (
+    EngineCrash,
     KernelFault,
     KVCorruptionError,
     NumericalFault,
@@ -46,6 +47,7 @@ __all__ = [
     "chaos_plan",
     "DegradeController",
     "ResilienceConfig",
+    "EngineCrash",
     "KernelFault",
     "KVCorruptionError",
     "NumericalFault",

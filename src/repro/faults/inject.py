@@ -29,6 +29,32 @@ class NumericalFault(KernelFault):
     """An output guard found non-finite values in a kernel's output."""
 
 
+class EngineCrash(RuntimeError):
+    """Injected whole-engine death (fault-plan ``crash`` site).
+
+    Unlike every other fault in the taxonomy this one is deliberately NOT
+    retryable in-process: it models the serving process dying.  All
+    in-memory engine state is lost; only what the
+    :mod:`repro.serving.checkpoint` layer persisted (snapshots + the
+    write-ahead journal) survives, and a
+    :class:`~repro.serving.checkpoint.RecoveryManager` must rebuild the
+    engine from it.
+
+    ``phase`` is ``"boundary"`` (between steps) or ``"mid-step"`` (after
+    the step's attention was priced but before its results were applied —
+    the half-done step is lost, exactly like a real crash).
+    """
+
+    def __init__(self, t: float, step_index: int, phase: str):
+        super().__init__(
+            f"injected engine crash at t={t:.6f}s "
+            f"(step {step_index}, {phase})"
+        )
+        self.t = t
+        self.step_index = step_index
+        self.phase = phase
+
+
 @dataclass
 class OutputGuard:
     """Sampled ``isfinite`` check over kernel outputs.
@@ -55,6 +81,7 @@ class OutputGuard:
 
 
 __all__ = [
+    "EngineCrash",
     "KernelFault",
     "KVCorruptionError",
     "NumericalFault",

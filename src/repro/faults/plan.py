@@ -22,12 +22,15 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 import numpy as np
 
 #: Injection sites in a fixed order (the order keys the per-site RNGs).
+#: ``crash`` was appended after the first five, so pre-existing seeds keep
+#: their site streams bit-for-bit.
 FAULT_SITES: Tuple[str, ...] = (
     "kernel",     # transient kernel failure → KernelFault from run_*
     "straggler",  # one CTA's serial+memory streams multiplied
     "corrupt",    # NaN/Inf (or version-bump) corruption of a live KV page
     "alloc",      # transient page-allocation failure in PagedKVCache
     "numeric",    # NaN written into a kernel's output tensor
+    "crash",      # whole-engine death (EngineCrash) at a step boundary or mid-step
 )
 
 
@@ -50,7 +53,7 @@ class FaultPlan:
     seed:
         Master seed; all site streams derive from it.
     kernel_fault_rate, straggler_rate, corruption_rate, alloc_fault_rate,
-    numeric_fault_rate:
+    numeric_fault_rate, crash_rate:
         Per-consultation firing probability for each site, in ``[0, 1)``.
         (Exactly 1.0 is rejected: an always-failing site would livelock
         bounded-retry recovery.)
@@ -70,6 +73,7 @@ class FaultPlan:
         corruption_rate: float = 0.0,
         alloc_fault_rate: float = 0.0,
         numeric_fault_rate: float = 0.0,
+        crash_rate: float = 0.0,
         straggler_factor: float = 8.0,
         schedules: Optional[Mapping[str, Iterable[int]]] = None,
     ):
@@ -79,6 +83,7 @@ class FaultPlan:
             "corrupt": corruption_rate,
             "alloc": alloc_fault_rate,
             "numeric": numeric_fault_rate,
+            "crash": crash_rate,
         }
         for name, rate in rates.items():
             if not 0.0 <= rate < 1.0:
@@ -115,6 +120,83 @@ class FaultPlan:
             for i, name in enumerate(FAULT_SITES)
         }
 
+    def disarm(self, site: str) -> None:
+        """Permanently silence one site (rate 0, schedule dropped).
+
+        Cold-start recovery uses this to restart a crashed engine with the
+        chaos monkey's ``crash`` site switched off while every other site
+        keeps replaying its schedule.
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(f"unknown fault site {site!r}; expected one of {FAULT_SITES}")
+        self._rates[site] = 0.0
+        self._schedules.pop(site, None)
+        s = self._sites[site]
+        s.rate = 0.0
+        s.schedule = None
+
+    # -- state capture (engine checkpointing) ----------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot: constructor config plus per-site RNG state.
+
+        ``import_state`` on a plan with the same config (or ``from_state``
+        on a fresh one) rewinds every site stream to the captured call
+        index, so replaying an engine run from a checkpoint re-draws the
+        identical fault schedule.
+        """
+        return {
+            "config": {
+                "seed": self.seed,
+                "rates": dict(self._rates),
+                "straggler_factor": self.straggler_factor,
+                "schedules": {k: sorted(v) for k, v in self._schedules.items()},
+            },
+            "sites": {
+                name: {
+                    "calls": s.calls,
+                    "fired": s.fired,
+                    "rng": self._rngs[name].bit_generator.state,
+                }
+                for name, s in self._sites.items()
+            },
+        }
+
+    def import_state(self, state: Mapping, skip: Iterable[str] = ()) -> None:
+        """Restore per-site counters and RNG streams from ``export_state``.
+
+        ``skip`` names sites whose *live* state is kept (the ``crash`` site
+        during in-process recovery: rewinding it would re-fire the very
+        crash being recovered from, livelocking the kill/restore loop).
+        """
+        skip = frozenset(skip)
+        for name, site_state in state["sites"].items():
+            if name in skip or name not in self._sites:
+                continue
+            s = self._sites[name]
+            s.calls = int(site_state["calls"])
+            s.fired = int(site_state["fired"])
+            self._rngs[name].bit_generator.state = site_state["rng"]
+
+    @classmethod
+    def from_state(cls, state: Mapping) -> "FaultPlan":
+        """Rebuild a plan (config + streams) from ``export_state`` output."""
+        cfg = state["config"]
+        rates = cfg["rates"]
+        plan = cls(
+            seed=int(cfg["seed"]),
+            kernel_fault_rate=rates.get("kernel", 0.0),
+            straggler_rate=rates.get("straggler", 0.0),
+            corruption_rate=rates.get("corrupt", 0.0),
+            alloc_fault_rate=rates.get("alloc", 0.0),
+            numeric_fault_rate=rates.get("numeric", 0.0),
+            crash_rate=rates.get("crash", 0.0),
+            straggler_factor=cfg["straggler_factor"],
+            schedules=cfg.get("schedules") or None,
+        )
+        plan.import_state(state)
+        return plan
+
     # -- draws ----------------------------------------------------------------
 
     def fire(self, site: str) -> bool:
@@ -139,6 +221,11 @@ class FaultPlan:
         return int(self._rngs[site].integers(n))
 
     # -- introspection ---------------------------------------------------------
+
+    def armed(self, site: str) -> bool:
+        """True if ``site`` can ever fire (rate or schedule set)."""
+        s = self._sites[site]
+        return s.rate > 0 or bool(s.schedule)
 
     @property
     def enabled(self) -> bool:
@@ -166,14 +253,19 @@ class FaultPlan:
         return f"FaultPlan(seed={self.seed}, {live or 'disabled'})"
 
 
-def chaos_plan(seed: int = 0) -> FaultPlan:
+def chaos_plan(seed: int = 0, crash_rate: float = 0.0) -> FaultPlan:
     """The default ``--chaos`` preset: every site active at the rates the
-    acceptance checks require (kernel ≥ 5%, page corruption ≥ 1%)."""
+    acceptance checks require (kernel ≥ 5%, page corruption ≥ 1%).
+
+    ``crash_rate`` arms seeded-random whole-engine death (off by default:
+    a crash without checkpointing aborts the run, so only kill/restore
+    harness runs turn it on)."""
     return FaultPlan(
         seed=seed,
         kernel_fault_rate=0.05,
         straggler_rate=0.02,
         corruption_rate=0.01,
         alloc_fault_rate=0.01,
+        crash_rate=crash_rate,
         straggler_factor=8.0,
     )

@@ -116,6 +116,23 @@ class DegradeController:
             self._fault_strikes = 0
         return False
 
+    def export_state(self) -> dict:
+        """Serializable snapshot for engine checkpointing."""
+        return {
+            "degraded": self.degraded,
+            "fault_strikes": self._fault_strikes,
+            "clean_streak": self._clean_streak,
+            "degrade_events": self.degrade_events,
+            "anneal_events": self.anneal_events,
+        }
+
+    def import_state(self, state) -> None:
+        self.degraded = bool(state["degraded"])
+        self._fault_strikes = int(state["fault_strikes"])
+        self._clean_streak = int(state["clean_streak"])
+        self.degrade_events = int(state["degrade_events"])
+        self.anneal_events = int(state["anneal_events"])
+
 
 class KVScrubber:
     """KV-integrity interception points around each engine step.

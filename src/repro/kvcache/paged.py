@@ -429,6 +429,66 @@ class PagedKVCache:
         slots = (pages[:, None] * self.page_size + np.arange(self.page_size)[None, :]).reshape(-1)
         return slots[: st.length]
 
+    # -- state capture (engine checkpointing) ------------------------------------
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of the full page-table state.
+
+        Captures geometry, the free list, per-page refcounts and
+        write-versioned checksums (version/stamp pairs — so corruption
+        present at snapshot time survives the round-trip and is re-detected
+        after restore), every sequence's page list and length, and the K/V
+        pools when materialized.  :meth:`from_state` rebuilds an identical
+        cache.
+        """
+        state = {
+            "num_pages": self.num_pages,
+            "page_size": self.page_size,
+            "num_kv_heads": self.num_kv_heads,
+            "head_dim": self.head_dim,
+            "materialized": self.materialized,
+            "checksums": self.checksums,
+            "free": list(self._free),
+            "refcount": self._refcount.tolist(),
+            "page_version": self._page_version.tolist(),
+            "page_stamp": self._page_stamp.tolist(),
+            "next_seq_id": self._next_seq_id,
+            "seqs": {
+                str(sid): {"pages": list(st.pages), "length": st.length}
+                for sid, st in self._seqs.items()
+            },
+        }
+        if self.materialized:
+            state["k_pool"] = self.k_pool.tolist()
+            state["v_pool"] = self.v_pool.tolist()
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PagedKVCache":
+        """Rebuild a cache from :meth:`export_state` output."""
+        cache = cls(
+            num_pages=int(state["num_pages"]),
+            page_size=int(state["page_size"]),
+            num_kv_heads=int(state["num_kv_heads"]),
+            head_dim=int(state["head_dim"]),
+            materialize=bool(state["materialized"]),
+            checksums=bool(state["checksums"]),
+        )
+        cache._free = [int(p) for p in state["free"]]
+        cache._refcount = np.asarray(state["refcount"], dtype=np.int64)
+        cache._page_version = np.asarray(state["page_version"], dtype=np.int64)
+        cache._page_stamp = np.asarray(state["page_stamp"], dtype=np.int64)
+        cache._next_seq_id = int(state["next_seq_id"])
+        for sid, seq in state["seqs"].items():
+            st = _SeqState()
+            st.pages = [int(p) for p in seq["pages"]]
+            st.length = int(seq["length"])
+            cache._seqs[int(sid)] = st
+        if cache.materialized:
+            cache.k_pool = np.asarray(state["k_pool"], dtype=np.float32)
+            cache.v_pool = np.asarray(state["v_pool"], dtype=np.float32)
+        return cache
+
     # -- export to the attention engine -----------------------------------------
 
     def layout(self, seq_ids: Sequence[int]) -> BlockSparseKV:

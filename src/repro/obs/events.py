@@ -138,8 +138,13 @@ class StepEvent:
 #: Actions a :class:`FaultEvent` may record.  ``injected`` events come
 #: from the fault plan; every one must be matched by a detection /
 #: recovery / shed event for a chaos run to be token-exact.
+#: ``committed``/``restored``/``replayed``/``diverged`` belong to the
+#: crash-recovery layer: a snapshot landed in the checkpoint store, an
+#: engine resumed from one, a journaled token was re-emitted identically
+#: on replay, or it was not.
 FAULT_ACTIONS: Tuple[str, ...] = (
     "injected", "detected", "retry", "shed", "degraded", "annealed", "flagged",
+    "committed", "restored", "replayed", "diverged",
 )
 
 
@@ -148,9 +153,9 @@ class FaultEvent:
     """One fault-related occurrence on the simulated clock.
 
     ``site`` names the injection/detection site (``kernel``, ``corrupt``,
-    ``alloc``, ``straggler``, ``numeric``, ``checksum``, ``watchdog``,
-    ``deadline``, ``overload``, ``retries``, ``backend``); ``action`` is
-    one of :data:`FAULT_ACTIONS`.
+    ``alloc``, ``straggler``, ``numeric``, ``crash``, ``ckpt``,
+    ``recover``, ``checksum``, ``watchdog``, ``deadline``, ``overload``,
+    ``retries``, ``backend``); ``action`` is one of :data:`FAULT_ACTIONS`.
     """
 
     site: str

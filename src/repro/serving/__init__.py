@@ -17,6 +17,19 @@ from repro.serving.backends import (
 )
 from repro.serving.admission import AdmissionController
 from repro.serving.batching import BatchFormer, RunState, StepPlan
+from repro.serving.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    Checkpointer,
+    CrashHarness,
+    CrashReport,
+    DirectoryStore,
+    NoSnapshotError,
+    RecoveredState,
+    RecoveryManager,
+    SnapshotIntegrityError,
+    SnapshotVerificationError,
+)
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.executor import Postprocessor, StepExecutor
 from repro.serving.metrics import RequestTrace, ServingMetrics
@@ -59,6 +72,17 @@ __all__ = [
     "TRTLLMBackend",
     "EngineConfig",
     "ServingEngine",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "Checkpointer",
+    "CrashHarness",
+    "CrashReport",
+    "DirectoryStore",
+    "NoSnapshotError",
+    "RecoveredState",
+    "RecoveryManager",
+    "SnapshotIntegrityError",
+    "SnapshotVerificationError",
     "AdmissionController",
     "BatchFormer",
     "RunState",

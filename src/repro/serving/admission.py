@@ -36,13 +36,16 @@ class AdmissionController:
     def admit(self, t: float) -> None:
         """Move arrived requests into the prefill queue, FCFS, under the
         ``max_running`` concurrency gate."""
-        st, cfg = self.state, self.engine.config
+        eng = self.engine
+        st, cfg = self.state, eng.config
         while st.waiting and st.requests[st.waiting[0]].arrival <= t:
             idx = st.waiting[0]
             if len(st.streams) + len(st.prefill_queue) + st.requests[idx].n > cfg.max_running:
                 break
             st.prefill_queue.append(idx)
             st.waiting.popleft()
+            if eng._journal is not None:
+                eng._journal.admit(idx, t)
 
     def fits(self, tokens: int) -> bool:
         """Admission control: keep one page of decode headroom per live
@@ -163,6 +166,8 @@ class AdmissionController:
         self.state.metrics.shed(trace)
         self.engine._count("sheds")
         self.engine._fault_event(reason, "shed", t, req_id=idx, detail=f"gen {gen}")
+        if self.engine._journal is not None:
+            self.engine._journal.shed(idx, gen, reason, t)
 
     def shed_request(self, req: Request, idx: int, t: float, reason: str) -> None:
         """Shed every not-yet-spawned generation of one request."""
@@ -174,6 +179,8 @@ class AdmissionController:
         self.state.metrics.shed(s.trace)
         self.engine._count("sheds")
         self.engine._fault_event(reason, "shed", t, req_id=s.req_idx, detail=f"gen {s.gen_index}")
+        if self.engine._journal is not None:
+            self.engine._journal.shed(s.req_idx, s.gen_index, reason, t)
 
     def shed_expired(self, t: float) -> None:
         """Deterministic deadline shedding: drop every unit of work whose

@@ -69,6 +69,34 @@ class Stream:
         self.retries = 0  # recompute retries consumed (rollback/alloc)
         self.deadline = deadline  # absolute shed time, or None
 
+    def to_state(self) -> dict:
+        """Serializable form for engine checkpointing (carries its trace:
+        a live stream's trace is not yet in metrics)."""
+        return {
+            "req_idx": self.req_idx,
+            "seq_id": self.seq_id,
+            "remaining": self.remaining,
+            "trace": self.trace.to_state(),
+            "resume_len": self.resume_len,
+            "gen_index": self.gen_index,
+            "retries": self.retries,
+            "deadline": self.deadline,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Stream":
+        s = cls(
+            req_idx=int(state["req_idx"]),
+            seq_id=int(state["seq_id"]),
+            remaining=int(state["remaining"]),
+            trace=RequestTrace.from_state(state["trace"]),
+            gen_index=int(state["gen_index"]),
+            deadline=state["deadline"],
+        )
+        s.resume_len = int(state["resume_len"])
+        s.retries = int(state["retries"])
+        return s
+
 
 class PartialPrefill:
     """A prompt being prefilled chunk by chunk."""
@@ -79,6 +107,19 @@ class PartialPrefill:
         self.req_idx = req_idx
         self.seq_id = seq_id
         self.filled = 0
+
+    def to_state(self) -> dict:
+        return {
+            "req_idx": self.req_idx,
+            "seq_id": self.seq_id,
+            "filled": self.filled,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PartialPrefill":
+        pp = cls(int(state["req_idx"]), int(state["seq_id"]))
+        pp.filled = int(state["filled"])
+        return pp
 
 
 @dataclass
@@ -101,6 +142,44 @@ class RunState:
             self.waiting or self.prefill_queue or self.prefilling
             or self.streams or self.preempted
         )
+
+    def export_state(self) -> dict:
+        """Serializable snapshot of the queues and live streams.
+
+        ``requests``, ``cache`` and ``metrics`` travel separately in the
+        engine snapshot (the cache has its own page-table serializer and
+        the request list is re-supplied on recovery).
+        """
+        return {
+            "waiting": list(self.waiting),
+            "prefill_queue": list(self.prefill_queue),
+            "streams": [s.to_state() for s in self.streams],
+            "prefilling": [pp.to_state() for pp in self.prefilling],
+            "preempted": [s.to_state() for s in self.preempted],
+            "prefix_registry": {
+                str(group): {"pages": list(pages), "length": length}
+                for group, (pages, length) in self.prefix_registry.items()
+            },
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, requests: Sequence[Request],
+        cache: PagedKVCache, metrics: ServingMetrics,
+    ) -> "RunState":
+        rs = cls(requests=requests, cache=cache, metrics=metrics)
+        rs.waiting = deque(int(i) for i in state["waiting"])
+        rs.prefill_queue = deque(int(i) for i in state["prefill_queue"])
+        rs.streams = [Stream.from_state(s) for s in state["streams"]]
+        rs.prefilling = deque(
+            PartialPrefill.from_state(pp) for pp in state["prefilling"]
+        )
+        rs.preempted = deque(Stream.from_state(s) for s in state["preempted"])
+        rs.prefix_registry = {
+            int(group): ([int(p) for p in entry["pages"]], int(entry["length"]))
+            for group, entry in state["prefix_registry"].items()
+        }
+        return rs
 
 
 @dataclass

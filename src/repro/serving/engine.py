@@ -36,6 +36,15 @@ youngest-first load shedding, and graceful degradation to the dense
 baseline backend (see :class:`repro.faults.recover.KVScrubber` and the
 executor).  With neither argument set every fault-path guard is a single
 ``is None`` check and the step loop is unchanged.
+
+Durability (``checkpoint``/``checkpoint_store``): with a
+:class:`~repro.serving.checkpoint.CheckpointConfig` attached the engine
+takes periodic snapshots and write-ahead-journals every admission, token
+and finish; after a crash (the fault plan's ``crash`` site, or a scripted
+kill) :meth:`ServingEngine.resume` continues token-exactly from a
+:class:`~repro.serving.checkpoint.RecoveredState`.  Disabled (the
+default) it adds nothing to the hot path — the same single ``is None``
+discipline as the fault layer.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.core.kernels import HeadConfig
+from repro.faults.inject import EngineCrash
 from repro.faults.plan import FaultPlan
 from repro.faults.recover import DegradeController, KVScrubber, ResilienceConfig
 from repro.gpu.spec import GPUSpec
@@ -60,6 +70,13 @@ from repro.serving.batching import (
     Stream,
     TOKEN_VOCAB,
     token_id,
+)
+from repro.serving.checkpoint import (
+    CheckpointConfig,
+    Checkpointer,
+    CheckpointStore,
+    Journal,
+    RecoveredState,
 )
 from repro.serving.executor import Postprocessor, StepExecutor
 from repro.serving.metrics import ServingMetrics
@@ -119,6 +136,8 @@ class ServingEngine:
         tracer: Optional[StepTracer] = None,
         fault_plan: Optional[FaultPlan] = None,
         resilience: Optional[ResilienceConfig] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
     ):
         self.model = model
         self.backend = backend
@@ -130,12 +149,30 @@ class ServingEngine:
         #: Fault-injection schedule; attaching one implies a default
         #: :class:`ResilienceConfig` unless ``resilience`` is also given.
         self.fault_plan = fault_plan
-        if resilience is None and fault_plan is not None:
+        #: Checkpoint cadence; attaching one (with ``every_steps > 0``)
+        #: also implies a default :class:`ResilienceConfig` — crash
+        #: recovery is a resilience feature (journaled tokens come from
+        #: ``record_tokens``, KV healing from the checksum scrub path).
+        if checkpoint is not None and checkpoint.every_steps <= 0:
+            checkpoint = None
+        self.checkpoint = checkpoint
+        self.checkpoint_store = checkpoint_store
+        if resilience is None and (fault_plan is not None or checkpoint is not None):
             resilience = ResilienceConfig()
         self.resilience = resilience
         self._tracer: Optional[StepTracer] = None
         self._event_index = 0
+        self._steps_done = 0
         self._step_prefix_hits = 0
+        # Crash-recovery state, all ``None``/``False`` on the plain path.
+        self._ckpt: Optional[Checkpointer] = None
+        self._journal: Optional[Journal] = None
+        self._replay = None
+        #: Scripted kills ``{(step_index, phase)}`` installed by a
+        #: :class:`~repro.serving.checkpoint.CrashHarness`; fired entries
+        #: are consumed so recovery cannot re-trip them.
+        self._crash_script: Optional[set] = None
+        self._crash_armed = False
         # Run-scoped resilience state.  ``_degrade is None`` ⇔ plain run:
         # it is the single sentinel every fault-path guard checks.
         self._degrade: Optional[DegradeController] = None
@@ -213,7 +250,59 @@ class ServingEngine:
         if plan is not None:
             for site, n in plan.injected.items():
                 stats[f"injected_{site}"] = float(n)
+        if self._ckpt is not None or c.get("recover_events"):
+            stats["ckpt_snapshots"] = float(c.get("ckpt_snapshots", 0))
+            stats["ckpt_journal_records"] = float(c.get("ckpt_journal_records", 0))
+            stats["recover_events"] = float(c.get("recover_events", 0))
+            stats["recover_replayed_tokens"] = float(
+                c.get("recover_replayed_tokens", 0)
+            )
+            stats["recover_token_divergence"] = float(
+                c.get("recover_token_divergence", 0)
+            )
         return stats
+
+    # -- crash injection / checkpoint wiring ------------------------------------
+
+    def _maybe_crash(self, t: float, phase: str) -> None:
+        """Consult the crash sources for this (step, phase); called only
+        when a source is armed.  ``phase`` is ``"boundary"`` (top of the
+        step loop) or ``"mid-step"`` (after execute, before finalize)."""
+        script = self._crash_script
+        if script is not None and (self._steps_done, phase) in script:
+            script.discard((self._steps_done, phase))
+            self._fault_event(
+                "crash", "injected", t,
+                detail=f"scripted kill, step {self._steps_done} {phase}",
+            )
+            raise EngineCrash(t, self._steps_done, phase)
+        plan = self.fault_plan
+        if plan is not None and plan.armed("crash") and plan.fire("crash"):
+            self._fault_event(
+                "crash", "injected", t,
+                detail=f"seeded kill, step {self._steps_done} {phase}",
+            )
+            raise EngineCrash(t, self._steps_done, phase)
+
+    def _wire_checkpoint(self, state, admission, t: float, genesis: bool) -> None:
+        """Attach checkpointer + journal for this run (no-op when off)."""
+        self._journal = None
+        self._ckpt = None
+        if self.checkpoint is None:
+            return
+        if self.checkpoint_store is None:
+            self.checkpoint_store = CheckpointStore()
+        ckpt = Checkpointer(self, self.checkpoint, self.checkpoint_store)
+        ckpt.state = state
+        ckpt.admission = admission
+        ckpt._last_step = self._steps_done
+        self._ckpt = ckpt
+        if self.checkpoint.journal:
+            self._journal = Journal(self, self.checkpoint_store)
+        if genesis:
+            # Step-0 snapshot: recovery always has a base, even for a
+            # crash before the first periodic snapshot lands.
+            ckpt.snapshot(t, reason="genesis")
 
     # -- main loop --------------------------------------------------------------
 
@@ -231,6 +320,7 @@ class ServingEngine:
         plan = self.fault_plan
         self._tracer = tracer if tracer is not None else self.tracer
         self._event_index = 0
+        self._steps_done = 0
         self._step_prefix_hits = 0
         self.backend.collect_kernel_reports = (
             self._tracer is not None and self._tracer.capture_kernels
@@ -249,7 +339,12 @@ class ServingEngine:
             self.backend.set_fault_injector(plan)
         else:
             self._degrade = None
+        self._replay = None
+        self._crash_armed = self._crash_script is not None or (
+            resil_on and plan is not None and plan.armed("crash")
+        )
         pc = self.plan_cache
+        pc_before = None
         if pc is not None:
             pc.bind(cfg.page_size, cfg.num_pool_pages)
             pc_before = (pc.hits, pc.misses)
@@ -269,15 +364,110 @@ class ServingEngine:
         )
         self._prefix_registry = state.prefix_registry  # back-compat alias
         admission = AdmissionController(self, state)
+        self._wire_checkpoint(state, admission, t=0.0, genesis=True)
+        return self._serve(state, admission, t=0.0, pc_before=pc_before)
+
+    def resume(
+        self, recovered: RecoveredState, tracer: Optional[StepTracer] = None
+    ) -> ServingMetrics:
+        """Continue a crashed run from a recovered snapshot, token-exactly.
+
+        The snapshot is restored verbatim — queues, live streams, page
+        tables (including pages that were corrupt at snapshot time, which
+        the scrub/recompute path heals on the next step exactly as an
+        uninterrupted run would have), metrics, the degrade state machine
+        and every fault-RNG stream *except* ``crash``, which stays live so
+        the crash being recovered from does not re-fire.  The journal's
+        lost window rides along as a replay guard verifying every
+        re-emitted token against what was journaled before the crash.
+        """
+        if self.resilience is None:
+            raise ValueError(
+                "resume() requires a resilience config; crash recovery is a "
+                "resilience feature (construct the engine with checkpoint= "
+                "or resilience=)"
+            )
+        cfg = self.config
+        resil = self.resilience
+        plan = self.fault_plan
+        snap = recovered.snapshot
+        self._tracer = tracer if tracer is not None else self.tracer
+        self.backend.collect_kernel_reports = (
+            self._tracer is not None and self._tracer.capture_kernels
+        )
+        self._event_index = int(snap["event_index"])
+        self._steps_done = int(snap["steps_done"])
+        self._step_prefix_hits = int(snap["step_prefix_hits"])
+        requests = recovered.requests  # snapshot order is arrival-sorted
+        self._degrade = DegradeController(resil.degrade_after, resil.anneal_after)
+        if snap["degrade"] is not None:
+            self._degrade.import_state(snap["degrade"])
+        self._fault_counters = {
+            k: int(v) for k, v in snap["fault_counters"].items()
+        }
+        self._taint = plan is not None and not resil.checksums
+        self._deadlines_active = resil.deadline is not None or any(
+            r.deadline is not None for r in requests
+        )
+        if plan is not None:
+            if snap["fault_plan"] is not None:
+                plan.import_state(snap["fault_plan"], skip=("crash",))
+            self.backend.set_fault_injector(plan)
+        self._crash_armed = self._crash_script is not None or (
+            plan is not None and plan.armed("crash")
+        )
+        pc = self.plan_cache
+        pc_before = None
+        if pc is not None:
+            pc.bind(cfg.page_size, cfg.num_pool_pages)
+            pc_before = (pc.hits, pc.misses)
+        cache = recovered.cache
+        cache.fault_injector = plan
+        self._cache = cache
+        metrics = ServingMetrics.from_state(snap["metrics"])
+        state = RunState.from_state(snap["run_state"], requests, cache, metrics)
+        metrics.recover_resumed += len(state.streams) + len(state.preempted)
+        self._prefix_registry = state.prefix_registry
+        admission = AdmissionController(self, state)
+        admission.prefill_retries = {
+            int(k): int(v) for k, v in snap["prefill_retries"].items()
+        }
+        t = float(snap["t"])
+        self._count("recover_events")
+        self._fault_event(
+            "recover", "restored", t,
+            detail=(
+                f"snapshot {recovered.snapshot_id}, step {self._steps_done}, "
+                f"{len(recovered.corrupt_pages)} pages to recompute"
+            ),
+        )
+        self._replay = recovered.replay
+        if self._replay is not None:
+            self._replay.engine = self
+        self._wire_checkpoint(state, admission, t, genesis=False)
+        if self._journal is not None:
+            self._journal.recover(recovered.snapshot_id, t)
+        return self._serve(state, admission, t, pc_before)
+
+    def _serve(self, state, admission, t: float, pc_before) -> ServingMetrics:
+        """The step loop plus end-of-run accounting, shared by
+        :meth:`run` (fresh state) and :meth:`resume` (restored state)."""
+        cfg = self.config
+        resil = self.resilience
+        plan = self.fault_plan
+        requests = state.requests
+        cache = state.cache
+        pc = self.plan_cache
         former = BatchFormer(self, state, admission)
         executor = StepExecutor(self, state)
         post = Postprocessor(self, state, executor)
-        scrubber = KVScrubber(self, state, admission) if resil_on else None
+        scrubber = KVScrubber(self, state, admission) if self._degrade is not None else None
         metrics = state.metrics
-        default_deadline = resil.deadline if resil_on else None
-        t = 0.0
+        default_deadline = resil.deadline if resil is not None else None
 
         while state.has_work():
+            if self._crash_armed:
+                self._maybe_crash(t, "boundary")
             admission.admit(t)
             self._policy.order(
                 state.prefill_queue, requests, t, default_deadline=default_deadline
@@ -326,7 +516,12 @@ class ServingEngine:
                 # A None step means everything alloc-faulted away; the
                 # end-of-step resilience hooks below still run.
                 t0, t, attn = executor.execute(step, t)
+                if self._crash_armed:
+                    # Mid-step death: the priced-but-unapplied step is
+                    # lost, exactly like a process dying between kernels.
+                    self._maybe_crash(t, "mid-step")
                 post.finalize(step, t0, t, attn)
+                self._steps_done += 1
             if self._degrade is not None:
                 if resil.step_budget is not None and (t - t_before) > resil.step_budget:
                     self._count("watchdog_flags")
@@ -335,7 +530,11 @@ class ServingEngine:
                         detail=f"step took {t - t_before:.6f}s > {resil.step_budget:.6f}s",
                     )
                 scrubber.inject(t)
+            if self._ckpt is not None and step is not None:
+                self._ckpt.on_step_end(t)
         metrics.total_time = t
+        if self._journal is not None:
+            self._journal.complete(t)
         if pc is not None:
             metrics.plan_cache_stats = pc.stats(since=pc_before)
         if self._tracer is not None:

@@ -236,18 +236,24 @@ class Postprocessor:
                 continue  # spawned this step; first decode token comes next
             s.trace.token_times.append(t)
             if record:
-                self._record_token(s)
+                self._record_token(s, t)
             s.remaining -= 1
             if s.remaining <= 0:
                 finished.append(s)
         for s in finished:
-            self._finish(s)
+            self._finish(s, t)
 
-    def _record_token(self, s: Stream) -> None:
-        tok = token_id(s.req_idx, s.gen_index, len(s.trace.tokens))
-        if self.engine._taint and s.seq_id >= 0 and self.state.cache.seq_is_corrupt(s.seq_id):
+    def _record_token(self, s: Stream, t: float) -> None:
+        eng = self.engine
+        pos = len(s.trace.tokens)
+        tok = token_id(s.req_idx, s.gen_index, pos)
+        if eng._taint and s.seq_id >= 0 and self.state.cache.seq_is_corrupt(s.seq_id):
             tok += TOKEN_VOCAB  # decoded from corrupted KV, undetected
         s.trace.tokens.append(tok)
+        if eng._journal is not None:
+            eng._journal.token(s.req_idx, s.gen_index, pos, tok, t)
+        if eng._replay is not None:
+            eng._replay.check(s.req_idx, s.gen_index, pos, tok, t)
 
     def _spawn_stream(
         self, req: Request, idx: int, gen: int, seq_id: int, t: float
@@ -261,15 +267,22 @@ class Postprocessor:
             stream.gen_index = gen
             stream.deadline = eng._deadline_for(req)
             if eng.resilience.record_tokens:
-                trace.tokens = [token_id(idx, gen, 0)]
+                tok0 = token_id(idx, gen, 0)
+                trace.tokens = [tok0]
+                if eng._journal is not None:
+                    eng._journal.token(idx, gen, 0, tok0, t)
+                if eng._replay is not None:
+                    eng._replay.check(idx, gen, 0, tok0, t)
         self.state.streams.append(stream)
         if req.output_len - 1 == 0:
-            self._finish(stream)
+            self._finish(stream, t)
 
-    def _finish(self, stream: Stream) -> None:
-        st = self.state
+    def _finish(self, stream: Stream, t: float) -> None:
+        eng, st = self.engine, self.state
         if stream.trace.token_times or stream.remaining <= 0:
             st.metrics.add(stream.trace)
+            if eng._journal is not None:
+                eng._journal.finish(stream.req_idx, stream.gen_index, t)
         st.cache.free_seq(stream.seq_id)
         if stream in st.streams:
             st.streams.remove(stream)

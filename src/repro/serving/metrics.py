@@ -45,6 +45,35 @@ class RequestTrace:
         times = [self.first_token_time] + list(self.token_times)
         return np.diff(times)
 
+    def to_state(self) -> dict:
+        """Serializable form for engine checkpointing."""
+        return {
+            "arrival": self.arrival,
+            "first_token_time": self.first_token_time,
+            "token_times": list(self.token_times),
+            "req_id": self.req_id,
+            "gen_index": self.gen_index,
+            "outcome": self.outcome,
+            "outcome_reason": self.outcome_reason,
+            "tokens": list(self.tokens) if self.tokens is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RequestTrace":
+        return cls(
+            arrival=float(state["arrival"]),
+            first_token_time=float(state["first_token_time"]),
+            token_times=[float(x) for x in state["token_times"]],
+            req_id=int(state["req_id"]),
+            gen_index=int(state["gen_index"]),
+            outcome=state["outcome"],
+            outcome_reason=state["outcome_reason"],
+            tokens=(
+                [int(x) for x in state["tokens"]]
+                if state["tokens"] is not None else None
+            ),
+        )
+
 
 @dataclass
 class ServingMetrics:
@@ -53,7 +82,12 @@ class ServingMetrics:
     traces: List[RequestTrace] = field(default_factory=list)
     total_time: float = 0.0
     total_output_tokens: int = 0
+    #: Streams evicted under memory pressure (decode could not get a page).
     preemptions: int = 0
+    #: Streams resumed from a crash-recovery snapshot — deliberately a
+    #: separate counter from :attr:`preemptions` so dashboards don't
+    #: conflate capacity eviction with restart recovery.
+    recover_resumed: int = 0
     #: Rolling counters from the run's :class:`repro.obs.StepTracer`
     #: (step counts by kind, per-component time totals, step-latency
     #: percentiles); attached by the engine when tracing is enabled.
@@ -120,6 +154,7 @@ class ServingMetrics:
             "throughput_tok_s": self.throughput_tokens_per_s(),
             "num_requests": float(len(self.traces)),
             "preemptions": float(self.preemptions),
+            "recover_resumed": float(self.recover_resumed),
         }
         if self.step_stats:
             for key, value in self.step_stats.items():
@@ -134,3 +169,30 @@ class ServingMetrics:
                     len(trace.token_times)
                 )
         return out
+
+    def export_state(self) -> dict:
+        """Serializable snapshot for engine checkpointing.
+
+        ``step_stats``/``fault_stats``/``plan_cache_stats`` are attached by
+        the engine at end of run, so only the accumulating fields travel.
+        """
+        return {
+            "traces": [t.to_state() for t in self.traces],
+            "shed_traces": [t.to_state() for t in self.shed_traces],
+            "total_time": self.total_time,
+            "total_output_tokens": self.total_output_tokens,
+            "preemptions": self.preemptions,
+            "recover_resumed": self.recover_resumed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ServingMetrics":
+        m = cls(
+            traces=[RequestTrace.from_state(t) for t in state["traces"]],
+            total_time=float(state["total_time"]),
+            total_output_tokens=int(state["total_output_tokens"]),
+            preemptions=int(state["preemptions"]),
+            recover_resumed=int(state["recover_resumed"]),
+        )
+        m.shed_traces = [RequestTrace.from_state(t) for t in state["shed_traces"]]
+        return m

@@ -233,3 +233,76 @@ class TestAllocFault:
         k = rng.standard_normal((9, 1, 8))
         cache.append(sid, k, k)
         assert cache.seq_len(sid) == 9
+
+
+class TestDegradeController:
+    """State-machine boundaries of the PRIMARY ↔ DEGRADED controller."""
+
+    def _controller(self):
+        from repro.faults.recover import DegradeController
+
+        return DegradeController(degrade_after=3, anneal_after=2)
+
+    def test_degrade_and_anneal_cycle(self):
+        dc = self._controller()
+        assert not dc.on_kernel_fault()
+        assert not dc.on_kernel_fault()
+        assert dc.on_kernel_fault()  # third strike trips it
+        assert dc.degraded
+        assert not dc.on_clean_step()
+        assert dc.on_clean_step()  # second clean step anneals back
+        assert not dc.degraded
+        assert (dc.degrade_events, dc.anneal_events) == (1, 1)
+
+    def test_re_degrades_after_completed_anneal(self):
+        """Annealing must fully reset the strike counter: a fresh burst of
+        faults after recovery re-trips degradation at the same threshold,
+        not earlier and not never."""
+        dc = self._controller()
+        for _ in range(3):
+            dc.on_kernel_fault()
+        for _ in range(2):
+            dc.on_clean_step()
+        assert not dc.degraded
+        # One stray fault is below threshold again — no hair trigger.
+        assert not dc.on_kernel_fault()
+        assert not dc.degraded
+        # A clean step while healthy clears the stray strike entirely.
+        dc.on_clean_step()
+        assert not dc.on_kernel_fault()
+        assert not dc.on_kernel_fault()
+        assert dc.on_kernel_fault()  # full threshold needed once more
+        assert dc.degraded
+        assert (dc.degrade_events, dc.anneal_events) == (2, 1)
+
+    def test_force_degrade_is_idempotent_while_degraded(self):
+        dc = self._controller()
+        assert dc.force_degrade()
+        assert not dc.force_degrade()
+        assert dc.degrade_events == 1
+
+    def test_faulty_steps_do_not_advance_the_anneal_streak(self):
+        """While degraded, only clean steps count toward annealing; a step
+        with a fault neither advances nor rewinds the streak."""
+        dc = self._controller()
+        for _ in range(3):
+            dc.on_kernel_fault()
+        dc.on_clean_step()
+        dc.on_kernel_fault()  # faulty step: streak holds at 1
+        assert dc.degraded
+        assert dc.on_clean_step()  # second clean step completes the anneal
+        assert not dc.degraded
+
+    def test_state_round_trips_through_export(self):
+        from repro.faults.recover import DegradeController
+
+        dc = self._controller()
+        for _ in range(3):
+            dc.on_kernel_fault()
+        dc.on_clean_step()
+        other = DegradeController(degrade_after=3, anneal_after=2)
+        other.import_state(dc.export_state())
+        # The clone continues the exact trajectory: one more clean step
+        # completes the anneal on both.
+        assert dc.on_clean_step() and other.on_clean_step()
+        assert other.export_state() == dc.export_state()

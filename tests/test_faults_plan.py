@@ -108,3 +108,86 @@ class TestIntrospection:
         assert plan._rates["kernel"] >= 0.05
         assert plan._rates["corrupt"] >= 0.01
         assert plan.enabled
+
+
+class TestStateCapture:
+    """export_state / import_state / from_state / disarm — the engine
+    checkpointing surface of the plan."""
+
+    def _plan(self, seed=11):
+        return FaultPlan(
+            seed=seed, kernel_fault_rate=0.3, corruption_rate=0.2,
+            crash_rate=0.1, schedules={"alloc": [2, 5]},
+        )
+
+    def test_from_state_continues_the_exact_schedule(self):
+        a = self._plan()
+        for _ in range(20):
+            a.fire("kernel")
+            a.fire("corrupt")
+        b = FaultPlan.from_state(a.export_state())
+        for site in FAULT_SITES:
+            assert b.consultations(site) == a.consultations(site)
+            assert fire_pattern(a, site, 30) == fire_pattern(b, site, 30)
+
+    def test_import_state_rewinds_a_live_plan(self):
+        plan = self._plan()
+        saved = plan.export_state()
+        first = fire_pattern(plan, "kernel", 15)
+        plan.import_state(saved)
+        assert fire_pattern(plan, "kernel", 15) == first
+
+    def test_import_skip_keeps_the_live_stream(self):
+        """The ``crash`` site is skipped on in-process recovery so the
+        death being recovered from cannot re-fire from a rewound stream."""
+        plan = self._plan()
+        saved = plan.export_state()
+        rewound = fire_pattern(plan, "crash", 10)
+        live_calls = plan.consultations("crash")
+        plan.import_state(saved, skip=("crash",))
+        assert plan.consultations("crash") == live_calls  # not rewound
+        assert plan.consultations("kernel") == 0  # others rewound
+        # The live stream keeps drawing forward, not replaying calls 0-9.
+        fire_pattern(plan, "crash", 10)
+        assert plan.export_state()["sites"]["crash"]["calls"] == 20
+        rewound_again = fire_pattern(FaultPlan.from_state(saved), "crash", 10)
+        assert rewound_again == rewound
+
+    def test_disarm_silences_one_site_only(self):
+        plan = self._plan()
+        plan.disarm("crash")
+        assert not plan.armed("crash")
+        assert plan.armed("kernel")
+        assert plan.armed("alloc")  # schedule-armed site unaffected
+        assert not any(fire_pattern(plan, "crash", 200))
+
+    def test_disarm_survives_import_state(self):
+        """Cold-start recovery rebuilds the plan from a snapshot, disarms
+        ``crash``, then ``resume()`` imports the snapshot again — the
+        disarm must hold (import restores streams, not rates)."""
+        plan = self._plan()
+        saved = plan.export_state()
+        plan.disarm("crash")
+        plan.import_state(saved)
+        assert not plan.armed("crash")
+        assert not any(fire_pattern(plan, "crash", 200))
+
+    def test_disarm_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultPlan().disarm("meteor")
+
+    def test_armed_reflects_rates_and_schedules(self):
+        plan = FaultPlan(schedules={"corrupt": [4]})
+        assert plan.armed("corrupt")
+        assert not plan.armed("kernel")
+        assert not plan.armed("crash")
+
+    def test_state_round_trip_is_json_safe(self):
+        import json
+
+        plan = self._plan()
+        for _ in range(7):
+            plan.fire("crash")
+        state = json.loads(json.dumps(plan.export_state()))
+        clone = FaultPlan.from_state(state)
+        assert fire_pattern(clone, "crash", 25) == fire_pattern(plan, "crash", 25)
