@@ -95,6 +95,8 @@ def _cmd_serve(args) -> int:
     heads = HeadConfig(model.num_qo_heads, model.num_kv_heads, model.head_dim)
     if args.recover:
         return _serve_recover(args, model, heads)
+    if args.tp > 1 or args.dp > 1:
+        return _serve_cluster(args, model)
     requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
     if args.crash:
         return _serve_crash(args, model, heads, requests)
@@ -149,6 +151,82 @@ def _cmd_serve(args) -> int:
     if args.chaos:
         return _serve_chaos(args, model, heads, requests)
     return 0
+
+
+def _serve_cluster(args, model) -> int:
+    """The ``serve --tp N --dp M`` pass: run the workload on a simulated
+    multi-GPU cluster, verify token-exactness against a single-GPU
+    reference run, and report cluster/replica/link utilization."""
+    from repro.cluster import ClusterConfig, ClusterEngine, expected_tokens
+    from repro.gpu import H100_80G
+    from repro.serving import EngineConfig, sharegpt_workload
+
+    requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
+    cfg = ClusterConfig(
+        tp=args.tp, dp=args.dp, topology=args.topology, router=args.router,
+        engine=EngineConfig(max_running=256, policy=args.policy),
+        checkpoint_every=args.checkpoint_every,
+    )
+    cluster = ClusterEngine(model, H100_80G, cfg, trace=bool(args.trace))
+    print(
+        f"{args.requests} ShareGPT-like requests at {args.rate} req/s, "
+        f"{model.name} on a {args.tp * args.dp}-GPU H100 cluster "
+        f"(tp={args.tp}, dp={args.dp}, {args.topology} topology, "
+        f"{args.router} router)"
+    )
+    reference = cluster.run_reference(requests)
+    cm = cluster.run(requests)
+    s = cm.summary()
+    print(
+        f"  cluster   : {s['cluster_total_time'] * 1e3:8.1f} ms makespan, "
+        f"{s['cluster_throughput_tok_s']:7.0f} tok/s, "
+        f"{int(s['cluster_output_tokens'])} tokens, "
+        f"{int(s['cluster_preemptions'])} preemptions"
+    )
+    for i in range(args.dp):
+        print(
+            f"  replica {i} : {int(s[f'replica{i}_requests']):3d} requests, "
+            f"{s[f'replica{i}_total_time'] * 1e3:8.1f} ms, "
+            f"{s[f'replica{i}_throughput_tok_s']:7.0f} tok/s, "
+            f"{s[f'replica{i}_utilization']:6.1%} of makespan"
+        )
+    if "link_utilization" in s:
+        print(
+            f"  interconnect: {s['link_bytes'] / 1e9:.2f} GB on the wire, "
+            f"{s['link_utilization']:.1%} busy "
+            f"({cluster.topology.link.name}, "
+            f"{int(s['link_degradations'])} degradation windows)"
+        )
+    if args.dp > 1:
+        base = ClusterEngine(
+            model, H100_80G,
+            ClusterConfig(
+                tp=args.tp, dp=1, topology=args.topology, router=args.router,
+                engine=EngineConfig(max_running=256, policy=args.policy),
+            ),
+        ).run(requests)
+        speedup = (
+            cm.throughput_tokens_per_s() / base.throughput_tokens_per_s()
+            if base.throughput_tokens_per_s() > 0 else float("nan")
+        )
+        print(f"  dp_speedup={speedup:.2f} (vs dp=1 at tp={args.tp})")
+    divergent, compared = cm.token_divergence(expected_tokens(reference))
+    print(
+        f"  token_divergence={divergent} "
+        f"({compared} streams compared vs single-GPU reference)"
+    )
+    if args.trace:
+        from repro.obs import write_cluster_trace
+
+        write_cluster_trace(
+            args.trace, cluster.trace_processes(),
+            metadata={"model": model.name, "tp": args.tp, "dp": args.dp,
+                      "topology": args.topology, "router": args.router,
+                      "requests": args.requests, "rate": args.rate},
+        )
+        print(f"  cluster trace → {args.trace} "
+              f"({args.dp} replica process rows, shared simulated clock)")
+    return 0 if divergent == 0 else 1
 
 
 def _serve_chaos(args, model, heads, requests) -> int:
@@ -322,7 +400,7 @@ def _serve_recover(args, model, heads) -> int:
     from repro.serving import (
         CheckpointConfig, DirectoryStore, EngineConfig, FlashInferBackend,
         NoSnapshotError, RecoveryManager, ServingEngine,
-        SnapshotIntegrityError, SnapshotVerificationError,
+        SnapshotIntegrityError, SnapshotVerificationError, WorldMismatchError,
     )
 
     if not args.journal:
@@ -331,9 +409,17 @@ def _serve_recover(args, model, heads) -> int:
         return 2
     store = DirectoryStore(args.journal)
     try:
-        recovered = RecoveryManager(store).recover()
+        # A snapshot taken at one cluster shape must not be resumed into
+        # another: the KV cache is sharded by tp and the request subset by
+        # dp, so a shape change would silently corrupt the resumed run.
+        recovered = RecoveryManager(
+            store, expected_world={"tp": args.tp, "dp": args.dp}
+        ).recover()
     except NoSnapshotError as exc:
         print(f"nothing to recover: {exc}", file=sys.stderr)
+        return 1
+    except WorldMismatchError as exc:
+        print(f"refusing to resume: {exc}", file=sys.stderr)
         return 1
     except (SnapshotIntegrityError, SnapshotVerificationError) as exc:
         print(f"refusing to resume: {exc}", file=sys.stderr)
@@ -354,11 +440,22 @@ def _serve_recover(args, model, heads) -> int:
         plan = FaultPlan.from_state(snap["fault_plan"])
         plan.disarm("crash")
     every = args.checkpoint_every if args.checkpoint_every > 0 else 4
+    # Rebuild the engine at the snapshot's cluster shape: sharded heads
+    # for tp > 1, and the dp coordinates the replica ran at.
+    if args.tp > 1:
+        from repro.cluster import plan_tp_sharding
+
+        heads = plan_tp_sharding(model, args.tp).shard_heads
+    snap_world = snap.get("world") or {"tp": 1, "dp": 1, "replica": 0}
     engine = ServingEngine(
         model, FlashInferBackend(heads, H100_80G), H100_80G,
-        EngineConfig(max_running=256, policy=args.policy), fault_plan=plan,
+        EngineConfig(max_running=256, policy=args.policy,
+                     tensor_parallel=args.tp),
+        fault_plan=plan,
         checkpoint=CheckpointConfig(every_steps=every), checkpoint_store=store,
     )
+    engine.dp_world = int(snap_world["dp"])
+    engine.dp_rank = int(snap_world["replica"])
     s = engine.resume(recovered).summary()
     print(
         f"  resumed to completion: ITL {s['median_itl'] * 1e3:6.2f} ms, "
@@ -406,12 +503,35 @@ def main(argv=None) -> int:
     gen.add_argument("--top-k", type=int, default=8, dest="top_k")
     gen.add_argument("--seed", type=int, default=0)
 
+    from repro.cluster.router import available_routing_policies
+    from repro.cluster.topology import TOPOLOGY_PRESETS
     from repro.serving.policy import available_policies
 
     serve = sub.add_parser("serve", help="compare serving backends")
     serve.add_argument("--requests", type=int, default=40)
     serve.add_argument("--rate", type=float, default=60.0)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--tp", type=int, default=1, metavar="N",
+        help="tensor-parallel shards per replica (must divide the model's "
+        "query heads); tp > 1 switches serve to the cluster path with a "
+        "token-exactness check against a single-GPU reference run",
+    )
+    serve.add_argument(
+        "--dp", type=int, default=1, metavar="M",
+        help="data-parallel replicas behind the cluster router; dp > 1 "
+        "also reports the throughput speedup over a dp=1 run",
+    )
+    serve.add_argument(
+        "--topology", default="nvlink", choices=sorted(TOPOLOGY_PRESETS),
+        help="interconnect preset used to price collectives on the "
+        "cluster path (default: nvlink)",
+    )
+    serve.add_argument(
+        "--router", default="round-robin",
+        help="routing policy for dp > 1; registered: "
+        f"{', '.join(available_routing_policies())} (default: round-robin)",
+    )
     serve.add_argument(
         "--policy", default="fcfs",
         help="scheduling policy for the admitted prefill queue; registered: "

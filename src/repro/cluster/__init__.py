@@ -1,0 +1,118 @@
+"""Multi-GPU cluster simulation: topology, collectives, TP, DP routing.
+
+Layered exactly like a real serving stack:
+
+* :mod:`repro.cluster.topology` — interconnect presets (NVLink ring,
+  PCIe host bridge) with per-link bandwidth/latency, ring-collective
+  cost formulas, time-windowed degradation, and traffic accounting.
+  The single source of truth for link constants (``repro.distributed``
+  and ``repro.serving.model`` import theirs from here).
+* :mod:`repro.cluster.collectives` — simulated ``all_reduce`` /
+  ``all_gather`` / ``reduce_scatter`` / ``p2p_send`` returning exact
+  numerics plus the topology-priced cost, including attention-state
+  reduction via the associative merge operator.
+* :mod:`repro.cluster.router` — pluggable data-parallel routing
+  policies (round-robin, least-loaded, power-of-two, session-affinity)
+  with the same registry/entry-point pattern as scheduler policies.
+* :mod:`repro.cluster.tp` — tensor-parallel head sharding and the
+  per-layer all-reduce interconnect charged to the topology.
+* :mod:`repro.cluster.engine` — the :class:`ClusterEngine` running
+  ``dp`` replicas on a shared simulated clock, token-exact against the
+  single-GPU engine.
+
+The topology/collectives/router layer is import-light (no serving
+dependency) and loads eagerly; the tp/engine layer imports the serving
+stack — which itself imports :mod:`repro.cluster.topology` for link
+constants — so those symbols load lazily to keep the cycle one-way.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.cluster.collectives import (
+    all_gather,
+    all_reduce,
+    all_reduce_states,
+    p2p_send,
+    reduce_scatter,
+)
+from repro.cluster.router import (
+    LeastLoadedPolicy,
+    LoadTracker,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    SessionAffinityPolicy,
+    available_routing_policies,
+    get_routing_policy,
+    register_routing_policy,
+)
+from repro.cluster.topology import (
+    ALLREDUCE_LATENCY,
+    DEFAULT_LINK_BANDWIDTH,
+    NVLINK_ALLREDUCE_BW,
+    NVLINK_BUS,
+    NVLINK_P2P,
+    PCIE_HOST,
+    TOPOLOGY_PRESETS,
+    Link,
+    LinkDegradation,
+    Topology,
+)
+
+# Symbols whose modules import the serving stack; resolved on first access
+# (PEP 562) to keep ``repro.serving.model → repro.cluster.topology``
+# import-safe.
+_LAZY = {
+    "ClusterConfig": "engine",
+    "ClusterEngine": "engine",
+    "ClusterMetrics": "engine",
+    "assign_rids": "engine",
+    "expected_tokens": "engine",
+    "TPInterconnect": "tp",
+    "TPSharding": "tp",
+    "make_tp_engine": "tp",
+    "plan_tp_sharding": "tp",
+}
+
+__all__ = [
+    "ALLREDUCE_LATENCY",
+    "DEFAULT_LINK_BANDWIDTH",
+    "NVLINK_ALLREDUCE_BW",
+    "NVLINK_BUS",
+    "NVLINK_P2P",
+    "PCIE_HOST",
+    "TOPOLOGY_PRESETS",
+    "Link",
+    "LinkDegradation",
+    "Topology",
+    "all_gather",
+    "all_reduce",
+    "all_reduce_states",
+    "p2p_send",
+    "reduce_scatter",
+    "LoadTracker",
+    "RoutingPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "PowerOfTwoPolicy",
+    "SessionAffinityPolicy",
+    "available_routing_policies",
+    "get_routing_policy",
+    "register_routing_policy",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(f"{__name__}.{module}"), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

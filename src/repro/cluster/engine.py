@@ -1,0 +1,383 @@
+"""The data-parallel cluster engine: N replicas on one simulated clock.
+
+:class:`ClusterEngine` runs ``dp`` tensor-parallel replicas — each a full
+:class:`~repro.serving.engine.ServingEngine` over ``tp`` simulated GPU
+shards — behind a pluggable :class:`~repro.cluster.router.RoutingPolicy`.
+The shared clock is the workload's absolute arrival timeline: every
+replica prices its steps on the same simulated time axis, so per-replica
+completion times, cluster makespan (the max) and cluster throughput are
+directly comparable across tp/dp/router/topology configurations.
+
+Token-exactness across the cluster is by construction, and verified:
+requests get a cluster-global id (:func:`assign_rids`) before routing,
+token ids are a pure function of ``(rid, generation, position)``, so a
+replica serving any subset of the workload emits exactly the tokens the
+single-GPU run would (:meth:`ClusterMetrics.token_divergence` checks
+every stream against a reference run's tokens).
+
+Fault injection composes with the existing layers: ``link_faults``
+install bandwidth-derating windows on the shared topology (steps priced
+inside a window slow down), and ``replica_crashes`` script engine deaths
+per replica, recovered through the PR-4 checkpoint/journal path via
+:class:`~repro.serving.checkpoint.CrashHarness` — the cluster completes
+with ``token_divergence=0`` anyway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.router import LoadTracker, get_routing_policy
+from repro.cluster.topology import Topology
+from repro.cluster.tp import TPInterconnect, plan_tp_sharding
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterMetrics",
+    "assign_rids",
+    "expected_tokens",
+]
+
+
+def assign_rids(requests) -> list:
+    """Arrival-sort the workload and stamp cluster-global request ids.
+
+    The rid equals the request's index in the arrival-sorted list — the
+    same index a single-GPU engine would use as its replica-local token
+    key, which is what makes the single-GPU run the token oracle for any
+    cluster shape.
+    """
+    ordered = sorted(requests, key=lambda r: r.arrival)
+    return [dataclasses.replace(r, rid=i) for i, r in enumerate(ordered)]
+
+
+def expected_tokens(reference) -> Dict[Tuple[int, int], list]:
+    """Token oracle from a reference run over :func:`assign_rids` output:
+    ``{(rid, gen_index): tokens}`` (reference ``req_id`` == rid because
+    the reference serves the full sorted list)."""
+    return {
+        (t.req_id, t.gen_index): t.tokens
+        for t in reference.traces
+        if t.tokens is not None and t.req_id >= 0
+    }
+
+
+@dataclass
+class ClusterConfig:
+    """Cluster shape and policy knobs."""
+
+    #: Tensor-parallel shards per replica (must divide the model's QO heads).
+    tp: int = 1
+    #: Data-parallel replicas behind the router.
+    dp: int = 1
+    #: Interconnect preset (:data:`repro.cluster.topology.TOPOLOGY_PRESETS`).
+    topology: str = "nvlink"
+    #: Routing policy name (:func:`repro.cluster.router.get_routing_policy`).
+    router: str = "round-robin"
+    #: Seed for router randomness (power-of-two probing).
+    router_seed: int = 0
+    #: Per-replica engine template; ``tensor_parallel`` is overridden by
+    #: :attr:`tp`.  ``None`` uses :class:`EngineConfig` defaults.
+    engine: Optional[object] = None
+    #: Record deterministic token ids on every replica (turns on the
+    #: resilience layer's token recording; required for divergence checks).
+    record_tokens: bool = True
+    #: Snapshot cadence for replicas (0 = off unless a replica has a crash
+    #: script, which forces a default cadence of 4).
+    checkpoint_every: int = 0
+
+
+@dataclass
+class ClusterMetrics:
+    """Per-replica metrics plus cluster-level aggregation."""
+
+    tp: int
+    dp: int
+    router: str
+    topology: Topology
+    replicas: List[object]  # ServingMetrics per replica
+    #: Each replica's (arrival-sorted) request list; maps a trace's
+    #: replica-local ``req_id`` back to the cluster-global ``rid``.
+    replica_requests: List[list]
+    #: Routed replica per request, in cluster arrival order.
+    assignments: List[int]
+    #: Per-replica :class:`~repro.serving.checkpoint.CrashReport` for
+    #: replicas that ran under a crash script (``None`` entries otherwise).
+    crash_reports: Optional[List[object]] = None
+
+    @property
+    def merged(self):
+        """Cluster-wide :class:`~repro.serving.metrics.ServingMetrics`."""
+        from repro.serving.metrics import ServingMetrics
+
+        return ServingMetrics.merge(self.replicas)
+
+    @property
+    def total_time(self) -> float:
+        """Cluster makespan: the slowest replica's completion time."""
+        return max((m.total_time for m in self.replicas), default=0.0)
+
+    def throughput_tokens_per_s(self) -> float:
+        total = sum(m.total_output_tokens for m in self.replicas)
+        makespan = self.total_time
+        return total / makespan if makespan > 0 else 0.0
+
+    def token_divergence(
+        self, expected: Dict[Tuple[int, int], list]
+    ) -> Tuple[int, int]:
+        """Compare every completed stream against the token oracle.
+
+        Returns ``(divergent, compared)``; divergent must be 0 for any
+        healthy cluster, whatever the tp/dp/router/topology — and after
+        replica crash recovery.
+        """
+        divergent = compared = 0
+        for requests, metrics in zip(self.replica_requests, self.replicas):
+            for tr in metrics.traces:
+                if tr.tokens is None or tr.req_id < 0:
+                    continue
+                rid = requests[tr.req_id].rid
+                if rid is None:
+                    continue
+                want = expected.get((rid, tr.gen_index))
+                if want is None:
+                    continue
+                compared += 1
+                if tr.tokens != want:
+                    divergent += 1
+        return divergent, compared
+
+    def summary(self) -> Dict[str, float]:
+        """``cluster_*`` counters, per-replica lines, per-link utilization."""
+        makespan = self.total_time
+        out: Dict[str, float] = {
+            "cluster_tp": float(self.tp),
+            "cluster_dp": float(self.dp),
+            "cluster_world": float(self.tp * self.dp),
+            "cluster_total_time": makespan,
+            "cluster_throughput_tok_s": self.throughput_tokens_per_s(),
+            "cluster_output_tokens": float(
+                sum(m.total_output_tokens for m in self.replicas)
+            ),
+            "cluster_requests": float(sum(len(m.traces) for m in self.replicas)),
+            "cluster_preemptions": float(sum(m.preemptions for m in self.replicas)),
+            "cluster_sheds": float(sum(m.sheds for m in self.replicas)),
+            "cluster_recover_resumed": float(
+                sum(m.recover_resumed for m in self.replicas)
+            ),
+        }
+        for i, m in enumerate(self.replicas):
+            out[f"replica{i}_requests"] = float(len(m.traces))
+            out[f"replica{i}_output_tokens"] = float(m.total_output_tokens)
+            out[f"replica{i}_total_time"] = m.total_time
+            out[f"replica{i}_throughput_tok_s"] = m.throughput_tokens_per_s()
+            # Replica utilization: busy fraction of the cluster makespan.
+            out[f"replica{i}_utilization"] = (
+                m.total_time / makespan if makespan > 0 else 0.0
+            )
+        if self.crash_reports is not None:
+            out["cluster_crashes"] = float(
+                sum(r.crashes for r in self.crash_reports if r is not None)
+            )
+            out["cluster_recoveries"] = float(
+                sum(r.recoveries for r in self.crash_reports if r is not None)
+            )
+        out.update(self.topology.link_stats(makespan=makespan))
+        return out
+
+
+class ClusterEngine:
+    """Route a workload across ``dp`` tensor-parallel serving replicas.
+
+    ``backend_factory(heads, gpu)`` builds each replica's attention
+    backend from the per-shard head config (default FlashInfer).
+    ``trace=True`` attaches one :class:`~repro.obs.StepTracer` per
+    replica (:meth:`trace_processes` feeds
+    :func:`repro.obs.write_cluster_trace`).  ``link_faults`` is a
+    sequence of ``(t_start, t_end, factor)`` bandwidth deratings on the
+    shared topology; ``replica_crashes`` maps replica index → crash
+    script (``(step, phase)`` pairs) run through the checkpoint-recovery
+    harness.
+    """
+
+    def __init__(
+        self,
+        model,
+        gpu,
+        config: Optional[ClusterConfig] = None,
+        backend_factory=None,
+        trace: bool = False,
+        link_faults: Sequence[Tuple[float, float, float]] = (),
+        replica_crashes: Optional[Dict[int, Sequence[Tuple[int, str]]]] = None,
+    ):
+        self.model = model
+        self.gpu = gpu
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        if cfg.tp < 1 or cfg.dp < 1:
+            raise ValueError("tp and dp must be >= 1")
+        #: Validated head sharding (raises on non-divisible tp up front).
+        self.sharding = plan_tp_sharding(model, cfg.tp)
+        self.topology = Topology.preset(cfg.topology, world=cfg.tp * cfg.dp)
+        for t0, t1, factor in link_faults:
+            self.topology.degrade(t0, t1, factor)
+        #: Resolved routing policy (raises on an unknown name).
+        self.router = get_routing_policy(cfg.router)
+        if backend_factory is None:
+            from repro.serving.backends import FlashInferBackend
+
+            backend_factory = FlashInferBackend
+        self.backend_factory = backend_factory
+        self.replica_crashes = dict(replica_crashes or {})
+        self.tracers = None
+        if trace:
+            from repro.obs.tracer import StepTracer
+
+            self.tracers = [StepTracer() for _ in range(cfg.dp)]
+
+    # -- construction helpers --------------------------------------------------
+
+    def _engine_config(self):
+        from repro.serving.engine import EngineConfig
+
+        template = self.config.engine if self.config.engine is not None else EngineConfig()
+        return dataclasses.replace(template, tensor_parallel=self.config.tp)
+
+    def _nominal_service_rate(self) -> float:
+        """Deterministic decode-rate estimate (tokens/s per replica) for
+        the router's fluid load model: the non-attention roofline at a
+        nominal batch of 16 (what a front-end can estimate offline —
+        deliberately not a peek into live engine state)."""
+        m, gpu, tp = self.model, self.gpu, self.config.tp
+        batch = 16
+        step = (
+            m.num_layers * m.layer_nonattn_time(batch, gpu, 0.85, tp)
+            + m.lm_head_time(batch, gpu, 0.85, tp)
+        )
+        return batch / step
+
+    def _make_engine(self, replica: int, tracer=None, checkpoint=None, store=None):
+        from repro.faults.recover import ResilienceConfig
+        from repro.serving.engine import ServingEngine
+
+        cfg = self._engine_config()
+        backend = self.backend_factory(self.sharding.shard_heads, self.gpu)
+        interconnect = (
+            TPInterconnect(self.topology, self.model, cfg.tensor_parallel)
+            if cfg.tensor_parallel > 1
+            else None
+        )
+        resilience = ResilienceConfig() if self.config.record_tokens else None
+        engine = ServingEngine(
+            self.model, backend, self.gpu, cfg,
+            tracer=tracer, resilience=resilience,
+            checkpoint=checkpoint, checkpoint_store=store,
+            interconnect=interconnect,
+        )
+        engine.dp_world = self.config.dp
+        engine.dp_rank = replica
+        return engine
+
+    # -- the cluster run -------------------------------------------------------
+
+    def route(self, requests) -> Tuple[List[list], List[int]]:
+        """Assign rids and split the workload across replicas.
+
+        Returns ``(per_replica_requests, assignments)``; each replica list
+        stays arrival-sorted (routing walks the global arrival order).
+        """
+        cfg = self.config
+        reqs = assign_rids(requests)
+        self.router.reset(cfg.dp, cfg.router_seed)
+        tracker = LoadTracker(cfg.dp, self._nominal_service_rate())
+        per_replica: List[list] = [[] for _ in range(cfg.dp)]
+        assignments: List[int] = []
+        for r in reqs:
+            tracker.observe(r.arrival)
+            choice = int(self.router.choose(r, r.arrival, tracker.loads()))
+            if not 0 <= choice < cfg.dp:
+                raise ValueError(
+                    f"router {self.router.name!r} chose replica {choice} "
+                    f"outside [0, {cfg.dp})"
+                )
+            per_replica[choice].append(r)
+            assignments.append(choice)
+            tracker.assign(choice, r.prompt_len + r.output_len * r.n)
+        return per_replica, assignments
+
+    def run(self, requests) -> ClusterMetrics:
+        """Serve the workload across the cluster; returns cluster metrics."""
+        from repro.serving.checkpoint import (
+            CheckpointConfig,
+            CheckpointStore,
+            CrashHarness,
+        )
+
+        cfg = self.config
+        per_replica, assignments = self.route(requests)
+        replica_metrics = []
+        crash_reports: Optional[List[object]] = (
+            [None] * cfg.dp if self.replica_crashes else None
+        )
+        for i in range(cfg.dp):
+            tracer = self.tracers[i] if self.tracers is not None else None
+            script = self.replica_crashes.get(i)
+            if script:
+                store = CheckpointStore()
+                every = cfg.checkpoint_every if cfg.checkpoint_every > 0 else 4
+                ckpt = CheckpointConfig(every_steps=every)
+
+                def factory(i=i, tracer=tracer, ckpt=ckpt, store=store):
+                    return self._make_engine(i, tracer, ckpt, store)
+
+                report = CrashHarness(
+                    factory, per_replica[i], store, crash_script=script
+                ).run()
+                crash_reports[i] = report
+                metrics = report.metrics
+            else:
+                ckpt = store = None
+                if cfg.checkpoint_every > 0:
+                    ckpt = CheckpointConfig(every_steps=cfg.checkpoint_every)
+                    store = CheckpointStore()
+                engine = self._make_engine(i, tracer, ckpt, store)
+                metrics = engine.run(per_replica[i])
+            replica_metrics.append(metrics)
+        return ClusterMetrics(
+            tp=cfg.tp, dp=cfg.dp, router=self.router.name,
+            topology=self.topology, replicas=replica_metrics,
+            replica_requests=per_replica, assignments=assignments,
+            crash_reports=crash_reports,
+        )
+
+    def run_reference(self, requests):
+        """The single-GPU token oracle: tp=1, dp=1, same rids, no topology.
+
+        Token ids depend only on ``(rid, gen, pos)``, so this run's tokens
+        are what every cluster shape must reproduce exactly.
+        """
+        from repro.core.kernels import HeadConfig
+        from repro.faults.recover import ResilienceConfig
+        from repro.serving.engine import ServingEngine
+
+        m = self.model
+        heads = HeadConfig(m.num_qo_heads, m.num_kv_heads, m.head_dim)
+        cfg = dataclasses.replace(self._engine_config(), tensor_parallel=1)
+        engine = ServingEngine(
+            m, self.backend_factory(heads, self.gpu), self.gpu, cfg,
+            resilience=ResilienceConfig(),
+        )
+        return engine.run(assign_rids(requests))
+
+    def trace_processes(self):
+        """Per-replica ``(label, events, fault_events)`` triples for
+        :func:`repro.obs.write_cluster_trace`."""
+        if self.tracers is None:
+            raise ValueError("construct the ClusterEngine with trace=True")
+        return [
+            (f"replica {i} (tp={self.config.tp})", tr.events, tr.fault_events)
+            for i, tr in enumerate(self.tracers)
+        ]

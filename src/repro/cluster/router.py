@@ -1,0 +1,226 @@
+"""Data-parallel request routing: pluggable policies + a load model.
+
+A :class:`RoutingPolicy` picks which replica serves each arriving
+request.  Policies are looked up by name through a registry with the
+same contract as :mod:`repro.serving.policy` — built-ins plus an entry
+point group (``repro.routing_policies``) for third-party packages::
+
+    [project.entry-points."repro.routing_policies"]
+    my-router = mypkg.routing:MyPolicy
+
+Routing is *timing-only*: token ids are a pure function of the request's
+cluster-global id (``Request.rid``), so any policy — however bad — is
+token-exact per stream by construction.  What a policy changes is
+queueing, and therefore TTFT/throughput.
+
+:class:`LoadTracker` is the deterministic fluid model policies consult:
+each replica's outstanding token work drains at a nominal service rate.
+It deliberately avoids peeking inside replica engines (they run
+arrival-clocked and are not steppable mid-run), mirroring what a real
+front-end router can actually observe — queue depths it assigned, not
+per-step engine internals.
+
+All randomness (power-of-two-choices probing) comes from a policy-owned
+seeded generator reset at the start of every run, keeping cluster runs
+reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+import numpy as np
+
+__all__ = [
+    "LeastLoadedPolicy",
+    "LoadTracker",
+    "PowerOfTwoPolicy",
+    "RoundRobinPolicy",
+    "RoutingPolicy",
+    "SessionAffinityPolicy",
+    "available_routing_policies",
+    "get_routing_policy",
+    "register_routing_policy",
+]
+
+_ENTRY_POINT_GROUP = "repro.routing_policies"
+
+
+class LoadTracker:
+    """Fluid-model outstanding work per replica.
+
+    ``assign`` adds a request's token work to a replica; ``observe``
+    drains every replica at ``service_rate`` tokens per simulated second.
+    Deterministic: state depends only on the assignment sequence.
+    """
+
+    def __init__(self, num_replicas: int, service_rate: float):
+        if num_replicas < 1:
+            raise ValueError("num_replicas must be >= 1")
+        if service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+        self.service_rate = service_rate
+        self.outstanding = [0.0] * num_replicas
+        self.assigned_requests = [0] * num_replicas
+        self._t = 0.0
+
+    def observe(self, t: float) -> None:
+        """Advance the drain clock to simulated time ``t``."""
+        dt = max(t - self._t, 0.0)
+        if dt:
+            drain = dt * self.service_rate
+            self.outstanding = [max(x - drain, 0.0) for x in self.outstanding]
+        self._t = max(self._t, t)
+
+    def assign(self, replica: int, tokens: float) -> None:
+        self.outstanding[replica] += tokens
+        self.assigned_requests[replica] += 1
+
+    def loads(self) -> List[float]:
+        return list(self.outstanding)
+
+
+class RoutingPolicy:
+    """Base class: pick a replica for one arriving request.
+
+    ``reset`` is called once per cluster run with the replica count and a
+    seed; ``choose`` once per request in arrival order.  ``loads`` is the
+    tracker's current outstanding-work estimate per replica.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = "base"
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        self.num_replicas = num_replicas
+
+    def choose(self, req, t: float, loads: Sequence[float]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Cycle through replicas in arrival order (the load-oblivious baseline)."""
+
+    name = "round-robin"
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        super().reset(num_replicas, seed)
+        self._next = 0
+
+    def choose(self, req, t, loads) -> int:
+        r = self._next
+        self._next = (self._next + 1) % self.num_replicas
+        return r
+
+
+class LeastLoadedPolicy(RoutingPolicy):
+    """Send to the replica with the least outstanding work (ties → lowest
+    index, so the choice is deterministic)."""
+
+    name = "least-loaded"
+
+    def choose(self, req, t, loads) -> int:
+        return int(min(range(self.num_replicas), key=lambda r: (loads[r], r)))
+
+
+class PowerOfTwoPolicy(RoutingPolicy):
+    """Power-of-two-choices: probe two random replicas, take the less
+    loaded — near-optimal balance at a fraction of least-loaded's probing
+    cost (Mitzenmacher's classic result)."""
+
+    name = "power-of-two"
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        super().reset(num_replicas, seed)
+        self._rng = np.random.default_rng(seed)
+
+    def choose(self, req, t, loads) -> int:
+        if self.num_replicas == 1:
+            return 0
+        a, b = self._rng.choice(self.num_replicas, size=2, replace=False)
+        a, b = int(a), int(b)
+        return a if (loads[a], a) <= (loads[b], b) else b
+
+
+class SessionAffinityPolicy(RoutingPolicy):
+    """Hash the session key to a replica: requests sharing a
+    ``prefix_group`` (a common system prompt) land together, so each
+    replica's radix prefix cache sees every reuse of its groups.  Requests
+    without a group hash their own id — affinity degrades to a uniform
+    deterministic spread."""
+
+    name = "session-affinity"
+
+    @staticmethod
+    def _hash(key: int) -> int:
+        # Knuth multiplicative hash: spreads small consecutive ids.
+        return (int(key) * 2654435761) & 0xFFFFFFFF
+
+    def choose(self, req, t, loads) -> int:
+        key = req.prefix_group
+        if key is None:
+            key = req.rid if getattr(req, "rid", None) is not None else 0
+        return self._hash(key) % self.num_replicas
+
+
+_POLICIES: Dict[str, Type[RoutingPolicy]] = {}
+_ENTRY_POINTS_LOADED = False
+_BUILTIN_NAMES = ("round-robin", "least-loaded", "power-of-two", "session-affinity")
+
+
+def register_routing_policy(cls: Type[RoutingPolicy]) -> Type[RoutingPolicy]:
+    """Register a policy class under ``cls.name`` (usable as a decorator)."""
+    if not getattr(cls, "name", None) or cls.name == "base":
+        raise ValueError(f"{cls.__name__} must define a non-default 'name'")
+    _POLICIES[cls.name] = cls
+    return cls
+
+
+for _cls in (RoundRobinPolicy, LeastLoadedPolicy, PowerOfTwoPolicy, SessionAffinityPolicy):
+    register_routing_policy(_cls)
+
+
+def _load_entry_point_policies() -> None:
+    """Best-effort discovery of third-party routers (once per process);
+    built-ins cannot be shadowed and broken plugins are skipped."""
+    global _ENTRY_POINTS_LOADED
+    if _ENTRY_POINTS_LOADED:
+        return
+    _ENTRY_POINTS_LOADED = True
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - python < 3.8
+        return
+    try:
+        eps = entry_points(group=_ENTRY_POINT_GROUP)
+    except TypeError:  # pragma: no cover - python < 3.10 API
+        eps = entry_points().get(_ENTRY_POINT_GROUP, [])
+    except Exception:  # pragma: no cover - corrupt metadata
+        return
+    for ep in eps:
+        try:
+            cls = ep.load()
+        except Exception:  # pragma: no cover - broken plugin
+            continue
+        if isinstance(cls, type) and issubclass(cls, RoutingPolicy):
+            _POLICIES.setdefault(cls.name, cls)
+
+
+def available_routing_policies() -> tuple:
+    """Registered router names, built-ins first."""
+    _load_entry_point_policies()
+    return tuple(
+        sorted(_POLICIES, key=lambda n: (n not in _BUILTIN_NAMES, n))
+    )
+
+
+def get_routing_policy(name: str) -> RoutingPolicy:
+    """Instantiate the routing policy registered under ``name``."""
+    _load_entry_point_policies()
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; available: "
+            f"{', '.join(available_routing_policies())}"
+        ) from None

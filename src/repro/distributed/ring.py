@@ -36,8 +36,9 @@ from repro.gpu.cost import TileCost
 from repro.gpu.executor import PersistentKernelExecutor
 from repro.gpu.spec import A100_40G, GPUSpec
 
-#: NVLink-class ring link bandwidth per direction (bytes/s).
-DEFAULT_LINK_BANDWIDTH = 200e9
+# NVLink-class ring link bandwidth per direction (bytes/s) — defined once
+# in the cluster topology module and re-exported here for back-compat.
+from repro.cluster.topology import DEFAULT_LINK_BANDWIDTH
 
 
 @dataclass

@@ -24,8 +24,10 @@ from repro.obs.events import (
 from repro.obs.export import (
     summary_table,
     to_chrome_trace,
+    to_cluster_trace,
     to_csv,
     write_chrome_trace,
+    write_cluster_trace,
     write_csv,
 )
 from repro.obs.tracer import RollingHistogram, StepTracer
@@ -42,7 +44,9 @@ __all__ = [
     "StepTracer",
     "summary_table",
     "to_chrome_trace",
+    "to_cluster_trace",
     "to_csv",
     "write_chrome_trace",
+    "write_cluster_trace",
     "write_csv",
 ]

@@ -27,43 +27,44 @@ _TID_KERNELS = 2 + len(STEP_COMPONENTS)
 _US = 1e6  # seconds → trace-event microseconds
 
 
-def _meta(name: str, tid: Optional[int], label: str) -> Dict[str, object]:
-    ev: Dict[str, object] = {"ph": "M", "pid": _PID, "name": name,
+def _meta(name: str, tid: Optional[int], label: str, pid: int) -> Dict[str, object]:
+    ev: Dict[str, object] = {"ph": "M", "pid": pid, "name": name,
                              "args": {"name": label}}
     if tid is not None:
         ev["tid"] = tid
     return ev
 
 
-def to_chrome_trace(
+def _process_events(
     events: Sequence[StepEvent],
-    metadata: Optional[Dict[str, object]] = None,
-    fault_events: Optional[Sequence[FaultEvent]] = None,
-) -> Dict[str, object]:
-    """Convert step events to a ``chrome://tracing`` JSON object.
+    fault_events: Optional[Sequence[FaultEvent]],
+    pid: int,
+    process_name: str,
+) -> List[Dict[str, object]]:
+    """One engine's trace events under process id ``pid``.
 
-    ``fault_events`` (from a chaos run's tracer) are rendered as instant
-    markers on the step track; omitted, the output is unchanged.
+    Cluster traces call this once per replica so each replica renders as
+    its own process row (with the shared simulated clock on one axis).
     """
     trace: List[Dict[str, object]] = [
-        _meta("process_name", None, "repro serving engine"),
-        _meta("thread_name", _TID_STEPS, "steps"),
-        _meta("thread_name", _TID_KERNELS, "attention kernels"),
+        _meta("process_name", None, process_name, pid),
+        _meta("thread_name", _TID_STEPS, "steps", pid),
+        _meta("thread_name", _TID_KERNELS, "attention kernels", pid),
     ]
     for i, comp in enumerate(STEP_COMPONENTS):
-        trace.append(_meta("thread_name", 2 + i, comp))
+        trace.append(_meta("thread_name", 2 + i, comp, pid))
 
     for ev in events:
         ts = ev.t_start * _US
         dur = ev.duration * _US
         if ev.kind == "idle":
             trace.append({
-                "ph": "X", "pid": _PID, "tid": _TID_STEPS, "ts": ts,
+                "ph": "X", "pid": pid, "tid": _TID_STEPS, "ts": ts,
                 "dur": dur, "name": "idle", "cat": "idle", "args": {},
             })
             continue
         trace.append({
-            "ph": "X", "pid": _PID, "tid": _TID_STEPS, "ts": ts, "dur": dur,
+            "ph": "X", "pid": pid, "tid": _TID_STEPS, "ts": ts, "dur": dur,
             "name": f"{ev.kind} #{ev.index}", "cat": "step",
             "args": {
                 "prefill_tokens": ev.num_prefill_tokens,
@@ -80,7 +81,7 @@ def to_chrome_trace(
             if secs <= 0:
                 continue
             trace.append({
-                "ph": "X", "pid": _PID, "tid": 2 + i, "ts": cursor,
+                "ph": "X", "pid": pid, "tid": 2 + i, "ts": cursor,
                 "dur": secs * _US, "name": comp, "cat": "component",
                 "args": {"step": ev.index},
             })
@@ -88,7 +89,7 @@ def to_chrome_trace(
         kcursor = ts
         for k in ev.kernels:
             trace.append({
-                "ph": "X", "pid": _PID, "tid": _TID_KERNELS, "ts": kcursor,
+                "ph": "X", "pid": pid, "tid": _TID_KERNELS, "ts": kcursor,
                 "dur": k.makespan * _US, "name": k.name, "cat": "kernel",
                 "args": {
                     "phase": k.phase,
@@ -102,17 +103,17 @@ def to_chrome_trace(
             kcursor += k.makespan * _US
         end = ev.t_end * _US
         trace.append({
-            "ph": "C", "pid": _PID, "ts": end, "name": "kv_pages",
+            "ph": "C", "pid": pid, "ts": end, "name": "kv_pages",
             "args": {"used": ev.kv_used_pages, "free": ev.kv_free_pages},
         })
         trace.append({
-            "ph": "C", "pid": _PID, "ts": end, "name": "live_streams",
+            "ph": "C", "pid": pid, "ts": end, "name": "live_streams",
             "args": {"streams": ev.num_streams},
         })
 
     for fev in fault_events or ():
         trace.append({
-            "ph": "i", "pid": _PID, "tid": _TID_STEPS, "ts": fev.t * _US,
+            "ph": "i", "pid": pid, "tid": _TID_STEPS, "ts": fev.t * _US,
             "name": f"{fev.site}:{fev.action}", "cat": "fault", "s": "t",
             "args": {
                 "step": fev.step_index,
@@ -120,7 +121,44 @@ def to_chrome_trace(
                 "detail": fev.detail,
             },
         })
+    return trace
 
+
+def to_chrome_trace(
+    events: Sequence[StepEvent],
+    metadata: Optional[Dict[str, object]] = None,
+    fault_events: Optional[Sequence[FaultEvent]] = None,
+) -> Dict[str, object]:
+    """Convert step events to a ``chrome://tracing`` JSON object.
+
+    ``fault_events`` (from a chaos run's tracer) are rendered as instant
+    markers on the step track; omitted, the output is unchanged.
+    """
+    out: Dict[str, object] = {
+        "traceEvents": _process_events(
+            events, fault_events, _PID, "repro serving engine"
+        ),
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        out["metadata"] = dict(metadata)
+    return out
+
+
+def to_cluster_trace(
+    replicas: Sequence[tuple],
+    metadata: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Multi-process Chrome trace for a cluster run.
+
+    ``replicas`` is a sequence of ``(label, events, fault_events)``
+    triples — e.g. ``ClusterEngine.trace_processes()`` — rendered as one
+    process row each (pid = replica index + 1) on the shared simulated
+    clock, so Perfetto shows all replicas' steps on one time axis.
+    """
+    trace: List[Dict[str, object]] = []
+    for i, (label, events, fault_events) in enumerate(replicas):
+        trace.extend(_process_events(events, fault_events, i + 1, label))
     out: Dict[str, object] = {
         "traceEvents": trace,
         "displayTimeUnit": "ms",
@@ -128,6 +166,16 @@ def to_chrome_trace(
     if metadata:
         out["metadata"] = dict(metadata)
     return out
+
+
+def write_cluster_trace(
+    path: str,
+    replicas: Sequence[tuple],
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Serialize :func:`to_cluster_trace` to ``path``."""
+    with open(path, "w") as f:
+        json.dump(to_cluster_trace(replicas, metadata), f)
 
 
 def write_chrome_trace(

@@ -29,6 +29,7 @@ from repro.serving.checkpoint import (
     RecoveryManager,
     SnapshotIntegrityError,
     SnapshotVerificationError,
+    WorldMismatchError,
 )
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.executor import Postprocessor, StepExecutor
@@ -83,6 +84,7 @@ __all__ = [
     "RecoveryManager",
     "SnapshotIntegrityError",
     "SnapshotVerificationError",
+    "WorldMismatchError",
     "AdmissionController",
     "BatchFormer",
     "RunState",

@@ -78,6 +78,18 @@ class SnapshotVerificationError(CheckpointError):
     path cannot rebuild them; resuming would decode from corrupt state."""
 
 
+class WorldMismatchError(CheckpointError):
+    """A snapshot's cluster shape (``tp``/``dp``/``replica``) differs from
+    the engine trying to resume it.  Resuming anyway would reinterpret the
+    per-shard KV page tables under the wrong head partitioning — silently
+    corrupt attention — so recovery refuses instead."""
+
+
+#: Cluster shape assumed for snapshots written before the ``world`` field
+#: existed: a single-GPU engine.
+_DEFAULT_WORLD = {"tp": 1, "dp": 1, "replica": 0}
+
+
 @dataclass
 class CheckpointConfig:
     """Checkpointing policy for :class:`~repro.serving.ServingEngine`.
@@ -201,6 +213,7 @@ def build_snapshot(engine, state, admission, t: float) -> dict:
     return {
         "version": SNAPSHOT_VERSION,
         "t": t,
+        "world": dict(engine.world),
         "steps_done": engine._steps_done,
         "event_index": engine._event_index,
         "step_prefix_hits": engine._step_prefix_hits,
@@ -353,6 +366,12 @@ class RecoveryManager:
     self-contained).  ``allow_recompute=False`` turns KV corruption found
     in the snapshot into a hard :class:`SnapshotVerificationError` even
     when the engine's recompute path could heal it.
+
+    ``expected_world`` declares the cluster shape doing the recovering
+    (any subset of ``{"tp", "dp", "replica"}``); a snapshot taken under a
+    different shape raises :class:`WorldMismatchError` before any state is
+    rebuilt.  Snapshots from before the field existed count as the
+    single-GPU shape ``tp=1, dp=1, replica=0``.
     """
 
     def __init__(
@@ -360,10 +379,12 @@ class RecoveryManager:
         store: CheckpointStore,
         requests: Optional[Sequence[Request]] = None,
         allow_recompute: bool = True,
+        expected_world: Optional[Dict[str, int]] = None,
     ):
         self.store = store
         self.requests = requests
         self.allow_recompute = allow_recompute
+        self.expected_world = expected_world
 
     def latest_snapshot(self) -> Tuple[str, dict]:
         sid = self.store.latest_snapshot_id()
@@ -380,6 +401,24 @@ class RecoveryManager:
                 f"snapshot {sid} has schema version {snap.get('version')}, "
                 f"this build reads version {SNAPSHOT_VERSION}"
             )
+        if self.expected_world is not None:
+            snap_world = snap.get("world") or _DEFAULT_WORLD
+            mismatched = {
+                k: (int(snap_world.get(k, _DEFAULT_WORLD[k])), int(v))
+                for k, v in self.expected_world.items()
+                if int(snap_world.get(k, _DEFAULT_WORLD[k])) != int(v)
+            }
+            if mismatched:
+                detail = ", ".join(
+                    f"{k}: snapshot has {a}, recovering cluster has {b}"
+                    for k, (a, b) in sorted(mismatched.items())
+                )
+                raise WorldMismatchError(
+                    f"snapshot {sid} was taken in a different cluster shape "
+                    f"({detail}); its per-shard KV page tables do not fit "
+                    f"this partitioning — recover with the matching "
+                    f"--tp/--dp or start the run fresh"
+                )
         if self.requests is not None:
             requests = sorted(self.requests, key=lambda r: r.arrival)
             if len(requests) != len(snap["requests"]):
@@ -543,5 +582,6 @@ __all__ = [
     "ReplayGuard",
     "SnapshotIntegrityError",
     "SnapshotVerificationError",
+    "WorldMismatchError",
     "build_snapshot",
 ]

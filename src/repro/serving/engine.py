@@ -77,6 +77,7 @@ from repro.serving.checkpoint import (
     CheckpointStore,
     Journal,
     RecoveredState,
+    WorldMismatchError,
 )
 from repro.serving.executor import Postprocessor, StepExecutor
 from repro.serving.metrics import ServingMetrics
@@ -138,11 +139,24 @@ class ServingEngine:
         resilience: Optional[ResilienceConfig] = None,
         checkpoint: Optional[CheckpointConfig] = None,
         checkpoint_store: Optional[CheckpointStore] = None,
+        interconnect=None,
     ):
         self.model = model
         self.backend = backend
         self.gpu = gpu
         self.config = config or EngineConfig()
+        #: Optional :class:`repro.cluster.tp.TPInterconnect`: prices the
+        #: per-layer tensor-parallel all-reduces on a cluster
+        #: :class:`~repro.cluster.topology.Topology` instead of the flat
+        #: NVLink-bus constants, and charges the traffic to the topology's
+        #: utilization counters.  ``None`` (the default) keeps the
+        #: pre-cluster cost model bit for bit.
+        self.interconnect = interconnect
+        #: Data-parallel identity, set by the cluster engine; together
+        #: with ``config.tensor_parallel`` this is the engine's ``world``
+        #: stamped into checkpoints (single-GPU: tp=1, dp=1, replica=0).
+        self.dp_world = 1
+        self.dp_rank = 0
         #: Optional :class:`repro.obs.StepTracer`; when ``None`` the step
         #: loop allocates no event objects (a single ``is None`` check).
         self.tracer = tracer
@@ -211,6 +225,15 @@ class ServingEngine:
             backend.set_plan_cache(self.plan_cache)
 
     # -- shared hooks (used by every pipeline layer) ----------------------------
+
+    @property
+    def world(self) -> Dict[str, int]:
+        """Cluster shape this engine runs in (stamped into snapshots)."""
+        return {
+            "tp": self.config.tensor_parallel,
+            "dp": self.dp_world,
+            "replica": self.dp_rank,
+        }
 
     def _count(self, key: str, n: int = 1) -> None:
         self._fault_counters[key] = self._fault_counters.get(key, 0) + n
@@ -391,6 +414,16 @@ class ServingEngine:
         resil = self.resilience
         plan = self.fault_plan
         snap = recovered.snapshot
+        # Refuse a snapshot from a different cluster shape: its per-shard
+        # KV page tables don't fit this head partitioning (pre-world
+        # snapshots count as the single-GPU shape).
+        snap_world = snap.get("world") or {"tp": 1, "dp": 1, "replica": 0}
+        if {k: int(v) for k, v in snap_world.items()} != self.world:
+            raise WorldMismatchError(
+                f"snapshot {recovered.snapshot_id} was taken under world "
+                f"{snap_world} but this engine is world {self.world}; "
+                f"resuming would corrupt the per-shard KV layout"
+            )
         self._tracer = tracer if tracer is not None else self.tracer
         self.backend.collect_kernel_reports = (
             self._tracer is not None and self._tracer.capture_kernels

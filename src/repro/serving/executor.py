@@ -45,18 +45,42 @@ class StepExecutor:
         Returns ``(t_start, t_end, attn_per_layer)``.
         """
         attn = self._attention(plan.formats, plan.decode, t, fallback_mapping=plan.mapping)
-        return t, t + self._step_time(attn, plan.num_tokens), attn
+        t_end = t + self._step_time(attn, plan.num_tokens, t)
+        ic = self.engine.interconnect
+        if ic is not None:
+            # Account this step's all-reduce traffic against the cluster
+            # interconnect (pricing happened inside _step_time).
+            ic.charge_step(
+                plan.num_tokens,
+                self.engine.backend.characteristics.allreduce_efficiency,
+                t,
+            )
+        return t, t_end, attn
 
     # -- step-time assembly ---------------------------------------------------
 
-    def _step_time(self, attn_per_layer: float, num_tokens: int) -> float:
+    def _allreduce_per_layer(self, num_tokens: int, t: float) -> float:
+        """Per-layer tensor-parallel all-reduce time: the flat NVLink-bus
+        model, or — under a cluster interconnect — the topology's ring
+        model priced at simulated time ``t`` (so link-degradation windows
+        slow the affected steps)."""
+        eng = self.engine
+        ch = eng.backend.characteristics
+        ic = eng.interconnect
+        if ic is None:
+            return eng.model.allreduce_time(
+                num_tokens, eng.config.tensor_parallel, ch.allreduce_efficiency
+            )
+        return ic.allreduce_per_layer(num_tokens, ch.allreduce_efficiency, t)
+
+    def _step_time(self, attn_per_layer: float, num_tokens: int, t: float = 0.0) -> float:
         eng = self.engine
         m, cfg = eng.model, eng.config
         ch = eng.backend.characteristics
         layer = (
             attn_per_layer
             + m.layer_nonattn_time(num_tokens, eng.gpu, ch.gemm_efficiency, cfg.tensor_parallel)
-            + m.allreduce_time(num_tokens, cfg.tensor_parallel, ch.allreduce_efficiency)
+            + self._allreduce_per_layer(num_tokens, t)
         )
         total = (
             m.num_layers * layer
@@ -68,7 +92,9 @@ class StepExecutor:
             total += self.fault_penalty  # host-observed kernel retries
         return total
 
-    def _step_components(self, attn_per_layer: float, num_tokens: int) -> dict:
+    def _step_components(
+        self, attn_per_layer: float, num_tokens: int, t: float = 0.0
+    ) -> dict:
         """The terms of :meth:`_step_time` itemized for tracing; the values
         sum to the step duration (same arithmetic, regrouped)."""
         eng = self.engine
@@ -84,9 +110,7 @@ class StepExecutor:
             "gemm": m.num_layers * m.layer_nonattn_time(
                 num_tokens, eng.gpu, ch.gemm_efficiency, cfg.tensor_parallel
             ),
-            "allreduce": m.num_layers * m.allreduce_time(
-                num_tokens, cfg.tensor_parallel, ch.allreduce_efficiency
-            ),
+            "allreduce": m.num_layers * self._allreduce_per_layer(num_tokens, t),
             "lm_head": m.lm_head_time(
                 num_tokens, eng.gpu, ch.gemm_efficiency, cfg.tensor_parallel
             ),
@@ -243,10 +267,17 @@ class Postprocessor:
         for s in finished:
             self._finish(s, t)
 
+    def _rid(self, idx: int) -> int:
+        """Token key for request ``idx``: its cluster-global ``rid`` when
+        the router assigned one, else the replica-local index (identical
+        for single-engine runs, so token streams are unchanged)."""
+        rid = self.state.requests[idx].rid
+        return idx if rid is None else rid
+
     def _record_token(self, s: Stream, t: float) -> None:
         eng = self.engine
         pos = len(s.trace.tokens)
-        tok = token_id(s.req_idx, s.gen_index, pos)
+        tok = token_id(self._rid(s.req_idx), s.gen_index, pos)
         if eng._taint and s.seq_id >= 0 and self.state.cache.seq_is_corrupt(s.seq_id):
             tok += TOKEN_VOCAB  # decoded from corrupted KV, undetected
         s.trace.tokens.append(tok)
@@ -267,7 +298,7 @@ class Postprocessor:
             stream.gen_index = gen
             stream.deadline = eng._deadline_for(req)
             if eng.resilience.record_tokens:
-                tok0 = token_id(idx, gen, 0)
+                tok0 = token_id(self._rid(idx), gen, 0)
                 trace.tokens = [tok0]
                 if eng._journal is not None:
                     eng._journal.token(idx, gen, 0, tok0, t)
@@ -305,7 +336,7 @@ class Postprocessor:
             num_decode_tokens=decode_tokens,
             num_streams=num_streams,
             breakdown=ex._step_components(
-                attn_per_layer, prefill_tokens + decode_tokens
+                attn_per_layer, prefill_tokens + decode_tokens, t_start
             ),
             kv_free_pages=cache.num_free_pages,
             kv_used_pages=cache.num_used_pages,

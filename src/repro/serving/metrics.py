@@ -170,6 +170,28 @@ class ServingMetrics:
                 )
         return out
 
+    @classmethod
+    def merge(cls, parts: "List[ServingMetrics]") -> "ServingMetrics":
+        """Cluster-wide aggregation of per-replica metrics.
+
+        Traces concatenate in replica order; ``total_time`` is the max
+        (replicas share one simulated clock, so the cluster finishes when
+        its slowest replica does), making
+        :meth:`throughput_tokens_per_s` the cluster throughput.  The
+        per-run stat dicts (``step_stats``/``fault_stats``/…) stay on the
+        individual replicas — aggregate views live in
+        ``repro.cluster.ClusterMetrics.summary``.
+        """
+        merged = cls()
+        for p in parts:
+            merged.traces.extend(p.traces)
+            merged.shed_traces.extend(p.shed_traces)
+            merged.total_output_tokens += p.total_output_tokens
+            merged.preemptions += p.preemptions
+            merged.recover_resumed += p.recover_resumed
+            merged.total_time = max(merged.total_time, p.total_time)
+        return merged
+
     def export_state(self) -> dict:
         """Serializable snapshot for engine checkpointing.
 

@@ -16,9 +16,10 @@ from dataclasses import dataclass
 
 from repro.gpu.spec import GPUSpec
 
-#: NVLink all-reduce effective bus bandwidth (bytes/s) and base latency.
-NVLINK_ALLREDUCE_BW = 300e9
-ALLREDUCE_LATENCY = 8e-6
+# NVLink all-reduce effective bus bandwidth (bytes/s) and base latency —
+# defined once in the cluster topology module (the single source of truth
+# for link constants) and re-exported here for back-compat.
+from repro.cluster.topology import ALLREDUCE_LATENCY, NVLINK_ALLREDUCE_BW
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,13 @@ class Request:
     #: Scheduling weight consumed by the ``priority`` policy (higher runs
     #: first); ignored by ``fcfs``.
     priority: int = 0
+    #: Cluster-global request id, assigned by the data-parallel router
+    #: before requests are split across replicas.  When set, token ids are
+    #: keyed by ``rid`` instead of the replica-local request index, so a
+    #: replica serving any subset of the workload emits exactly the tokens
+    #: the single-engine run would.  ``None`` (the default) preserves the
+    #: single-engine behavior bit for bit.
+    rid: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0 or self.n <= 0:

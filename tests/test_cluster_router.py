@@ -1,0 +1,188 @@
+"""Data-parallel routing: policies, load model, cluster token-exactness."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterEngine,
+    expected_tokens,
+)
+from repro.cluster.router import (
+    LeastLoadedPolicy,
+    LoadTracker,
+    PowerOfTwoPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    SessionAffinityPolicy,
+    available_routing_policies,
+    get_routing_policy,
+    register_routing_policy,
+)
+from repro.gpu import H100_80G
+from repro.serving import EngineConfig, LLAMA_3_1_8B, Request, sharegpt_workload
+
+MODEL = LLAMA_3_1_8B
+
+
+def _req(arrival=0.0, **kw):
+    kw.setdefault("prompt_len", 64)
+    kw.setdefault("output_len", 8)
+    return Request(arrival, **kw)
+
+
+def test_load_tracker_assigns_and_drains():
+    lt = LoadTracker(2, service_rate=100.0)
+    lt.assign(0, 500.0)
+    assert lt.loads() == [500.0, 0.0]
+    lt.observe(2.0)  # drains 200 tokens from each replica
+    assert lt.loads() == [300.0, 0.0]
+    lt.observe(100.0)  # never goes negative
+    assert lt.loads() == [0.0, 0.0]
+    # Time cannot run backwards.
+    lt.assign(1, 100.0)
+    lt.observe(50.0)
+    assert lt.loads()[1] == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        LoadTracker(0, 1.0)
+    with pytest.raises(ValueError):
+        LoadTracker(1, 0.0)
+
+
+def test_round_robin_cycles():
+    p = RoundRobinPolicy()
+    p.reset(3)
+    assert [p.choose(_req(), 0.0, [0, 0, 0]) for _ in range(6)] == [0, 1, 2, 0, 1, 2]
+
+
+def test_least_loaded_picks_minimum_with_deterministic_ties():
+    p = LeastLoadedPolicy()
+    p.reset(3)
+    assert p.choose(_req(), 0.0, [5.0, 1.0, 3.0]) == 1
+    assert p.choose(_req(), 0.0, [2.0, 2.0, 2.0]) == 0
+
+
+def test_power_of_two_is_seed_deterministic():
+    choices = []
+    for _ in range(2):
+        p = PowerOfTwoPolicy()
+        p.reset(4, seed=42)
+        choices.append([p.choose(_req(), 0.0, [3.0, 1.0, 2.0, 0.5]) for _ in range(16)])
+    assert choices[0] == choices[1]
+    p = PowerOfTwoPolicy()
+    p.reset(1, seed=0)
+    assert p.choose(_req(), 0.0, [1.0]) == 0
+
+
+def test_session_affinity_groups_land_together():
+    p = SessionAffinityPolicy()
+    p.reset(4)
+    same = {
+        p.choose(_req(prefix_group=7, prefix_len=16), 0.0, [0] * 4)
+        for _ in range(5)
+    }
+    assert len(same) == 1
+    # Ungrouped requests spread by rid, deterministically.
+    a = p.choose(_req(rid=1), 0.0, [0] * 4)
+    b = p.choose(_req(rid=1), 0.0, [0] * 4)
+    assert a == b
+
+
+def test_registry_contract():
+    names = available_routing_policies()
+    assert names[:4] == ("least-loaded", "power-of-two", "round-robin",
+                         "session-affinity")
+    assert isinstance(get_routing_policy("round-robin"), RoundRobinPolicy)
+    with pytest.raises(ValueError, match="unknown routing policy"):
+        get_routing_policy("nope")
+    with pytest.raises(ValueError, match="non-default"):
+        register_routing_policy(RoutingPolicy)
+
+
+def test_register_custom_policy():
+    class AlwaysZero(RoutingPolicy):
+        name = "test-always-zero"
+
+        def choose(self, req, t, loads):
+            return 0
+
+    try:
+        register_routing_policy(AlwaysZero)
+        assert isinstance(get_routing_policy("test-always-zero"), AlwaysZero)
+        cm = ClusterEngine(
+            MODEL, H100_80G,
+            ClusterConfig(dp=2, router="test-always-zero",
+                          engine=EngineConfig(max_running=64)),
+        ).run(sharegpt_workload(6, rate=50.0, seed=2))
+        assert len(cm.replica_requests[0]) == 6
+        assert len(cm.replica_requests[1]) == 0
+    finally:
+        from repro.cluster import router
+
+        router._POLICIES.pop("test-always-zero", None)
+
+
+def test_routing_splits_workload_and_keeps_arrival_order():
+    cluster = ClusterEngine(
+        MODEL, H100_80G, ClusterConfig(dp=3, router="round-robin")
+    )
+    per_replica, assignments = cluster.route(
+        sharegpt_workload(9, rate=100.0, seed=4)
+    )
+    assert assignments == [0, 1, 2] * 3
+    for reqs in per_replica:
+        assert len(reqs) == 3
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+    # rids cover the whole workload exactly once.
+    rids = sorted(r.rid for reqs in per_replica for r in reqs)
+    assert rids == list(range(9))
+
+
+@pytest.mark.parametrize("router", ["round-robin", "least-loaded",
+                                    "power-of-two", "session-affinity"])
+def test_dp_cluster_token_exact_under_every_router(router):
+    requests = sharegpt_workload(8, rate=120.0, seed=9)
+    cluster = ClusterEngine(
+        MODEL, H100_80G,
+        ClusterConfig(dp=2, router=router, engine=EngineConfig(max_running=64)),
+    )
+    reference = cluster.run_reference(requests)
+    cm = cluster.run(requests)
+    divergent, compared = cm.token_divergence(expected_tokens(reference))
+    assert (divergent, compared) == (0, 8)
+
+
+def test_dp2_least_loaded_beats_dp1_throughput():
+    # The CI acceptance gate: at an overloaded arrival rate, splitting the
+    # workload across two replicas must strictly raise simulated
+    # throughput over one replica.
+    requests = sharegpt_workload(24, rate=200.0, seed=0)
+    results = {}
+    for dp in (1, 2):
+        results[dp] = ClusterEngine(
+            MODEL, H100_80G,
+            ClusterConfig(dp=dp, router="least-loaded",
+                          engine=EngineConfig(max_running=256)),
+        ).run(requests)
+    assert (
+        results[2].throughput_tokens_per_s()
+        > results[1].throughput_tokens_per_s()
+    )
+    assert results[2].total_time < results[1].total_time
+
+
+def test_cluster_summary_shape():
+    cm = ClusterEngine(
+        MODEL, H100_80G,
+        ClusterConfig(tp=2, dp=2, engine=EngineConfig(max_running=64)),
+    ).run(sharegpt_workload(6, rate=60.0, seed=1))
+    s = cm.summary()
+    assert s["cluster_world"] == 4.0
+    assert s["cluster_requests"] == 6.0
+    for i in range(2):
+        assert f"replica{i}_requests" in s
+        assert 0.0 <= s[f"replica{i}_utilization"] <= 1.0
+    assert s["link_bytes"] > 0.0
+    merged = cm.merged
+    assert len(merged.traces) == 6
+    assert merged.total_time == pytest.approx(cm.total_time)
