@@ -95,6 +95,8 @@ def _cmd_serve(args) -> int:
     heads = HeadConfig(model.num_qo_heads, model.num_kv_heads, model.head_dim)
     if args.recover:
         return _serve_recover(args, model, heads)
+    if args.prefix_cache:
+        return _serve_prefix(args, model)
     if args.tp > 1 or args.dp > 1:
         return _serve_cluster(args, model)
     requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
@@ -227,6 +229,80 @@ def _serve_cluster(args, model) -> int:
         print(f"  cluster trace → {args.trace} "
               f"({args.dp} replica process rows, shared simulated clock)")
     return 0 if divergent == 0 else 1
+
+
+def _serve_prefix(args, model) -> int:
+    """The ``serve --prefix-cache`` pass: serve a shared-prefix workload
+    cold (no cache) and warm (radix prefix cache + cascade attention),
+    verify both against the single-GPU token oracle, and report the
+    prefill work the cache removed."""
+    import dataclasses
+
+    from repro.cluster import ClusterConfig, ClusterEngine, expected_tokens
+    from repro.gpu import H100_80G
+    from repro.serving import EngineConfig, shared_prefix_workload
+
+    requests = shared_prefix_workload(args.requests, args.rate, seed=args.seed)
+    shared = sum(r.prefix_len for r in requests)
+    total = sum(r.prompt_len for r in requests)
+    warm_engine = EngineConfig(
+        max_running=256, policy=args.policy, chunked_prefill=True,
+        prefix_cache=True, composable=True,
+    )
+    cfg = ClusterConfig(
+        tp=args.tp, dp=args.dp, topology=args.topology, router=args.router,
+        engine=warm_engine, checkpoint_every=args.checkpoint_every,
+    )
+    print(
+        f"{args.requests} shared-prefix requests at {args.rate} req/s "
+        f"({shared / total:.0%} of prompt tokens shared), {model.name} on a "
+        f"{args.tp * args.dp}-GPU H100 cluster (tp={args.tp}, dp={args.dp}, "
+        f"{args.router} router)"
+    )
+    cold_cfg = dataclasses.replace(
+        cfg,
+        engine=dataclasses.replace(warm_engine, prefix_cache=False, composable=False),
+    )
+    cold_cluster = ClusterEngine.from_config(cold_cfg, model=model, gpu=H100_80G)
+    # The oracle is the cold-cache single-GPU run: the warm cluster must
+    # reproduce its tokens exactly for caching to be timing-only.
+    oracle = expected_tokens(cold_cluster.run_reference(requests))
+    cold = cold_cluster.run(requests)
+    warm = ClusterEngine.from_config(cfg, model=model, gpu=H100_80G).run(requests)
+    cs, ws = cold.summary(), warm.summary()
+
+    hit = int(ws.get("cluster_radix_hit_tokens", 0))
+    flops_saved = model.num_layers * model.layer_gemm_flops(hit)
+    bytes_saved = ws.get("cluster_cascade_bytes_saved", 0.0)
+    print(
+        f"  cold   : {cs['cluster_total_time'] * 1e3:8.1f} ms makespan, "
+        f"{cs['cluster_throughput_tok_s']:7.0f} tok/s, "
+        f"{total} prompt tokens prefilled"
+    )
+    print(
+        f"  warm   : {ws['cluster_total_time'] * 1e3:8.1f} ms makespan, "
+        f"{ws['cluster_throughput_tok_s']:7.0f} tok/s, "
+        f"{total - hit} prompt tokens prefilled"
+    )
+    print(
+        f"  radix_hit_tokens={hit} "
+        f"({hit / total:.0%} of prompt tokens served from cache)"
+    )
+    print(
+        f"  prefill_flops_saved={flops_saved:.3e} "
+        f"cascade_hbm_bytes_saved={bytes_saved:.3e} "
+        f"cascade_steps={int(ws.get('cluster_cascade_steps', 0))}"
+    )
+    cold_div, cold_cmp = cold.token_divergence(oracle)
+    warm_div, warm_cmp = warm.token_divergence(oracle)
+    divergent = cold_div + warm_div
+    print(
+        f"  token_divergence={divergent} "
+        f"(cold {cold_div}/{cold_cmp}, warm {warm_div}/{warm_cmp} streams "
+        f"vs cold single-GPU reference)"
+    )
+    ok = divergent == 0 and hit > 0
+    return 0 if ok else 1
 
 
 def _serve_chaos(args, model, heads, requests) -> int:
@@ -546,6 +622,13 @@ def main(argv=None) -> int:
     serve.add_argument(
         "--trace-csv", metavar="OUT.csv", default=None, dest="trace_csv",
         help="also write the per-step CSV log (requires --trace)",
+    )
+    serve.add_argument(
+        "--prefix-cache", action="store_true", dest="prefix_cache",
+        help="serve a shared-prefix workload cold and warm (radix prefix "
+        "cache + cascade attention), verify token-exactness against the "
+        "single-GPU reference, and report the prefill FLOPs and HBM bytes "
+        "saved (composes with --tp/--dp/--router)",
     )
     serve.add_argument(
         "--chaos", action="store_true",

@@ -14,8 +14,9 @@ construct once with a workspace buffer, ``plan`` per generation step on
 the CPU, ``run`` any number of times per plan.  The two paged wrappers
 share one plan path (:func:`_paged_kv_mapping`): the KV-pool page count is
 inferred from the page-table indices at ``plan`` time and validated
-against the K/V pools passed to ``run`` — the old explicit
-``pool_num_pages`` argument is still accepted but deprecated.
+against the K/V pools passed to ``run``.  The old explicit
+``pool_num_pages`` argument (deprecated since the API redesign) has been
+removed; passing it raises ``TypeError`` with a migration hint.
 
 Every wrapper accepts an optional :class:`repro.obs.StepTracer`; when
 attached, each ``run`` records a :class:`repro.obs.KernelRecord` so
@@ -25,7 +26,6 @@ steps.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -49,16 +49,14 @@ def _paged_kv_mapping(
     kv_indptr: np.ndarray,
     kv_indices: np.ndarray,
     last_page_len: np.ndarray,
-    pool_num_pages: Optional[int],
     causal: bool,
 ) -> AttentionMapping:
     """Shared plan path of the paged wrappers: lower the FlashInfer page-table
     triple ``(kv_indptr, kv_indices, last_page_len)`` to an
     :class:`AttentionMapping`.
 
-    ``pool_num_pages`` may be ``None`` — the pool bound is then inferred
-    from the largest referenced page index (the K/V pools handed to
-    ``run()`` are validated against it).
+    The pool bound is inferred from the largest referenced page index (the
+    K/V pools handed to ``run()`` are validated against it).
     """
     kv_indptr = np.asarray(kv_indptr, dtype=np.int64)
     kv_indices = np.asarray(kv_indices, dtype=np.int64)
@@ -69,21 +67,10 @@ def _paged_kv_mapping(
         (pages_per_seq - 1) * page_size + last_page_len,
         0,
     )
-    if pool_num_pages is None:
-        pool_num_pages = int(kv_indices.max()) + 1 if kv_indices.size else 1
+    pool_num_pages = int(kv_indices.max()) + 1 if kv_indices.size else 1
     kv = BlockSparseKV(page_size, pool_num_pages, kv_indptr, kv_indices, kv_lens)
     return AttentionMapping(
         np.asarray(qo_indptr, dtype=np.int64), kv, causal=causal
-    )
-
-
-def _warn_pool_num_pages(cls_name: str) -> None:
-    warnings.warn(
-        f"{cls_name}.plan(..., pool_num_pages=...) is deprecated: the pool "
-        f"size is now inferred from the page-table indices and validated "
-        f"against the K/V pools passed to run(); drop the argument.",
-        DeprecationWarning,
-        stacklevel=4,
     )
 
 
@@ -97,26 +84,23 @@ class _WrapperBase:
         self.tracer = tracer
         self._planned = False
         self._min_pool_pages: Optional[int] = None
-        self._warned_pool_num_pages = False
 
-    def _accept_pool_num_pages(
-        self, pool_num_pages: Optional[int], kv_indices: np.ndarray
-    ) -> None:
-        """Handle the deprecated explicit ``pool_num_pages`` plan argument:
-        warn once per wrapper instance, and reject values the page table
-        contradicts (an index beyond the declared pool)."""
-        if pool_num_pages is None:
-            return
-        if not self._warned_pool_num_pages:
-            self._warned_pool_num_pages = True
-            _warn_pool_num_pages(type(self).__name__)
-        required = int(kv_indices.max()) + 1 if kv_indices.size else 0
-        if pool_num_pages < required:
-            raise ValueError(
-                f"{type(self).__name__}: explicit pool_num_pages="
-                f"{pool_num_pages} contradicts the page table, which "
-                f"references page {required - 1}; drop the argument — the "
-                f"pool size is inferred from the indices"
+    def _reject_pool_num_pages(self, extra_args: tuple, kwargs: dict) -> None:
+        """The explicit ``pool_num_pages`` plan argument was deprecated in
+        the API redesign and is now removed; raise with a migration hint
+        whether it arrives positionally or by keyword."""
+        if extra_args or "pool_num_pages" in kwargs:
+            raise TypeError(
+                f"{type(self).__name__}.plan() no longer accepts "
+                f"pool_num_pages: the pool size is inferred from the "
+                f"page-table indices at plan() time and validated against "
+                f"the K/V pools passed to run(). Drop the argument."
+            )
+        if kwargs:
+            unexpected = next(iter(kwargs))
+            raise TypeError(
+                f"{type(self).__name__}.plan() got an unexpected keyword "
+                f"argument {unexpected!r}"
             )
 
     def _require_plan(self) -> None:
@@ -186,17 +170,18 @@ class BatchDecodeWithPagedKVCacheWrapper(_WrapperBase):
         kv_indptr: np.ndarray,
         kv_indices: np.ndarray,
         last_page_len: np.ndarray,
-        pool_num_pages: Optional[int] = None,
+        *args,
         params: Optional[dict] = None,
         sm_scale: Optional[float] = None,
+        **kwargs,
     ) -> None:
         """Stage the decode schedule for the current page table."""
+        self._reject_pool_num_pages(args, kwargs)
         kv_indices = np.asarray(kv_indices, dtype=np.int64)
-        self._accept_pool_num_pages(pool_num_pages, kv_indices)
         batch = np.asarray(kv_indptr).size - 1
         mapping = _paged_kv_mapping(
             self.page_size, np.arange(batch + 1, dtype=np.int64),
-            kv_indptr, kv_indices, last_page_len, pool_num_pages, causal=True,
+            kv_indptr, kv_indices, last_page_len, causal=True,
         )
         self._min_pool_pages = int(kv_indices.max()) + 1 if kv_indices.size else 0
         self._inner.plan(mapping, params=params, sm_scale=sm_scale)
@@ -262,16 +247,17 @@ class BatchPrefillWithPagedKVCacheWrapper(_WrapperBase):
         kv_indptr: np.ndarray,
         kv_indices: np.ndarray,
         last_page_len: np.ndarray,
-        pool_num_pages: Optional[int] = None,
+        *args,
         causal: bool = True,
         params: Optional[dict] = None,
         sm_scale: Optional[float] = None,
+        **kwargs,
     ) -> None:
+        self._reject_pool_num_pages(args, kwargs)
         kv_indices = np.asarray(kv_indices, dtype=np.int64)
-        self._accept_pool_num_pages(pool_num_pages, kv_indices)
         mapping = _paged_kv_mapping(
             self.page_size, qo_indptr, kv_indptr, kv_indices, last_page_len,
-            pool_num_pages, causal=causal,
+            causal=causal,
         )
         self._min_pool_pages = int(kv_indices.max()) + 1 if kv_indices.size else 0
         self._inner.plan(mapping, params=params, sm_scale=sm_scale)

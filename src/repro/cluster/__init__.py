@@ -12,8 +12,9 @@ Layered exactly like a real serving stack:
   numerics plus the topology-priced cost, including attention-state
   reduction via the associative merge operator.
 * :mod:`repro.cluster.router` — pluggable data-parallel routing
-  policies (round-robin, least-loaded, power-of-two, session-affinity)
-  with the same registry/entry-point pattern as scheduler policies.
+  policies (round-robin, least-loaded, power-of-two, session-affinity,
+  cache-aware) with the same registry/entry-point pattern as scheduler
+  policies.
 * :mod:`repro.cluster.tp` — tensor-parallel head sharding and the
   per-layer all-reduce interconnect charged to the topology.
 * :mod:`repro.cluster.engine` — the :class:`ClusterEngine` running
@@ -38,6 +39,7 @@ from repro.cluster.collectives import (
     reduce_scatter,
 )
 from repro.cluster.router import (
+    CacheAwarePolicy,
     LeastLoadedPolicy,
     LoadTracker,
     PowerOfTwoPolicy,
@@ -98,6 +100,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "PowerOfTwoPolicy",
     "SessionAffinityPolicy",
+    "CacheAwarePolicy",
     "available_routing_policies",
     "get_routing_policy",
     "register_routing_policy",

@@ -178,6 +178,19 @@ class ClusterMetrics:
             out[f"replica{i}_utilization"] = (
                 m.total_time / makespan if makespan > 0 else 0.0
             )
+        radix_tokens = sum(m.radix_hit_tokens for m in self.replicas)
+        cascade_steps = sum(m.cascade_steps for m in self.replicas)
+        if radix_tokens or cascade_steps:
+            # Prefix-cache counters only when something hit, so cold-cache
+            # summaries stay byte-identical.
+            out["cluster_radix_hit_tokens"] = float(radix_tokens)
+            out["cluster_radix_hit_prompts"] = float(
+                sum(m.radix_hit_prompts for m in self.replicas)
+            )
+            out["cluster_cascade_steps"] = float(cascade_steps)
+            out["cluster_cascade_bytes_saved"] = float(
+                sum(m.cascade_bytes_saved for m in self.replicas)
+            )
         if self.crash_reports is not None:
             out["cluster_crashes"] = float(
                 sum(r.crashes for r in self.crash_reports if r is not None)
@@ -240,6 +253,22 @@ class ClusterEngine:
 
     # -- construction helpers --------------------------------------------------
 
+    @classmethod
+    def from_config(cls, config: Optional["ClusterConfig"] = None, *,
+                    model=None, gpu=None, **kwargs) -> "ClusterEngine":
+        """Build a cluster engine with the stock model/GPU defaults.
+
+        The cluster-shape counterpart of
+        :meth:`repro.serving.engine.ServingEngine.from_config` — one call
+        site for the CLI, benchmarks and tests, with the same defaults
+        (LLAMA_3_1_8B on an H100)."""
+        from repro.gpu.spec import H100_80G
+        from repro.serving.model import LLAMA_3_1_8B
+
+        model = model if model is not None else LLAMA_3_1_8B
+        gpu = gpu if gpu is not None else H100_80G
+        return cls(model, gpu, config, **kwargs)
+
     def _engine_config(self):
         from repro.serving.engine import EngineConfig
 
@@ -264,15 +293,15 @@ class ClusterEngine:
         from repro.serving.engine import ServingEngine
 
         cfg = self._engine_config()
-        backend = self.backend_factory(self.sharding.shard_heads, self.gpu)
         interconnect = (
             TPInterconnect(self.topology, self.model, cfg.tensor_parallel)
             if cfg.tensor_parallel > 1
             else None
         )
         resilience = ResilienceConfig() if self.config.record_tokens else None
-        engine = ServingEngine(
-            self.model, backend, self.gpu, cfg,
+        engine = ServingEngine.from_config(
+            cfg, model=self.model, gpu=self.gpu,
+            backend_factory=self.backend_factory,
             tracer=tracer, resilience=resilience,
             checkpoint=checkpoint, checkpoint_store=store,
             interconnect=interconnect,
@@ -359,15 +388,13 @@ class ClusterEngine:
         Token ids depend only on ``(rid, gen, pos)``, so this run's tokens
         are what every cluster shape must reproduce exactly.
         """
-        from repro.core.kernels import HeadConfig
         from repro.faults.recover import ResilienceConfig
         from repro.serving.engine import ServingEngine
 
-        m = self.model
-        heads = HeadConfig(m.num_qo_heads, m.num_kv_heads, m.head_dim)
         cfg = dataclasses.replace(self._engine_config(), tensor_parallel=1)
-        engine = ServingEngine(
-            m, self.backend_factory(heads, self.gpu), self.gpu, cfg,
+        engine = ServingEngine.from_config(
+            cfg, model=self.model, gpu=self.gpu,
+            backend_factory=self.backend_factory,
             resilience=ResilienceConfig(),
         )
         return engine.run(assign_rids(requests))

@@ -32,6 +32,7 @@ from typing import Dict, List, Sequence, Type
 import numpy as np
 
 __all__ = [
+    "CacheAwarePolicy",
     "LeastLoadedPolicy",
     "LoadTracker",
     "PowerOfTwoPolicy",
@@ -163,9 +164,55 @@ class SessionAffinityPolicy(RoutingPolicy):
         return self._hash(key) % self.num_replicas
 
 
+class CacheAwarePolicy(RoutingPolicy):
+    """Balance estimated radix-cache hits against load (SGLang-style
+    cache-aware routing).
+
+    The router mirrors what each replica's radix tree will have cached:
+    routing a request with a ``prefix_group`` teaches that replica the
+    group's prefix, and later requests of the group score an estimated
+    hit of ``prefix_len`` tokens there.  Each replica is scored by the
+    prompt tokens it would still have to prefill (prompt minus estimated
+    hit) plus its outstanding work; the lowest total wins (ties → lowest
+    index).  Unlike :class:`SessionAffinityPolicy` this keeps spreading
+    load when one group dominates: once the hot group is cached on a
+    second replica, both score equal hits and the load term decides."""
+
+    name = "cache-aware"
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        super().reset(num_replicas, seed)
+        #: Per replica: prefix_group → cached prefix length (tokens), the
+        #: router's model of that replica's radix tree contents.
+        self._cached: List[Dict[int, int]] = [{} for _ in range(num_replicas)]
+
+    def _est_hit(self, replica: int, req) -> int:
+        if req.prefix_group is None:
+            return 0
+        cached = self._cached[replica].get(req.prefix_group, 0)
+        return min(cached, req.prefix_len)
+
+    def choose(self, req, t, loads) -> int:
+        best = min(
+            range(self.num_replicas),
+            key=lambda r: (
+                req.prompt_len - self._est_hit(r, req) + loads[r], r
+            ),
+        )
+        if req.prefix_group is not None:
+            seen = self._cached[best]
+            seen[req.prefix_group] = max(
+                seen.get(req.prefix_group, 0), req.prefix_len
+            )
+        return int(best)
+
+
 _POLICIES: Dict[str, Type[RoutingPolicy]] = {}
 _ENTRY_POINTS_LOADED = False
-_BUILTIN_NAMES = ("round-robin", "least-loaded", "power-of-two", "session-affinity")
+_BUILTIN_NAMES = (
+    "round-robin", "least-loaded", "power-of-two", "session-affinity",
+    "cache-aware",
+)
 
 
 def register_routing_policy(cls: Type[RoutingPolicy]) -> Type[RoutingPolicy]:
@@ -176,7 +223,10 @@ def register_routing_policy(cls: Type[RoutingPolicy]) -> Type[RoutingPolicy]:
     return cls
 
 
-for _cls in (RoundRobinPolicy, LeastLoadedPolicy, PowerOfTwoPolicy, SessionAffinityPolicy):
+for _cls in (
+    RoundRobinPolicy, LeastLoadedPolicy, PowerOfTwoPolicy,
+    SessionAffinityPolicy, CacheAwarePolicy,
+):
     register_routing_policy(_cls)
 
 

@@ -147,17 +147,14 @@ def make_tp_engine(
     :class:`~repro.serving.backends.FlashInferBackend`).  Extra keyword
     arguments pass through to the engine (``tracer=``, ``checkpoint=``…).
     """
-    from repro.serving.backends import FlashInferBackend
     from repro.serving.engine import EngineConfig, ServingEngine
 
     cfg = config if config is not None else EngineConfig()
-    sharding = plan_tp_sharding(model, cfg.tensor_parallel)
-    if backend_factory is None:
-        backend_factory = FlashInferBackend
-    backend = backend_factory(sharding.shard_heads, gpu)
+    plan_tp_sharding(model, cfg.tensor_parallel)  # validate divisibility up front
     interconnect = None
     if topology is not None and cfg.tensor_parallel > 1:
         interconnect = TPInterconnect(topology, model, cfg.tensor_parallel)
-    return ServingEngine(
-        model, backend, gpu, cfg, interconnect=interconnect, **engine_kwargs
+    return ServingEngine.from_config(
+        cfg, model=model, gpu=gpu, backend_factory=backend_factory,
+        interconnect=interconnect, **engine_kwargs,
     )

@@ -185,5 +185,86 @@ class RadixTree:
                     best = n
         return best
 
+    def evictable_pages(self) -> int:
+        """Cached pages that eviction could return to the free pool.
+
+        A page only becomes free when the tree holds the last reference —
+        pages pinned by in-flight sequences stay allocated even after the
+        tree drops them, so they don't count toward reclaimable headroom.
+        """
+        free = 0
+        stack = list(self._root.children.values())
+        while stack:
+            n = stack.pop()
+            stack.extend(n.children.values())
+            free += sum(1 for p in n.pages if self.cache.page_refcount(p) == 1)
+        return free
+
+    def evict_until(self, target_free: int) -> int:
+        """Evict LRU leaves until the pool has ``target_free`` free pages.
+
+        Returns the number of pages whose last reference was released (i.e.
+        actually freed).  Stops early once the tree is empty; pages pinned
+        by live sequences are dropped from the tree but stay allocated.
+        """
+        freed = 0
+        while self.cache.num_free_pages < target_free and self._num_cached_pages:
+            leaf = self._lru_leaf()
+            if leaf is None:
+                break
+            before = self.cache.num_free_pages
+            self.cache.release_pages(leaf.pages)
+            freed += self.cache.num_free_pages - before
+            self._num_cached_pages -= len(leaf.pages)
+            assert leaf.parent is not None
+            del leaf.parent.children[leaf.tokens[0]]
+        return freed
+
+    # -- snapshot / restore ---------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON-serializable snapshot of the tree structure.
+
+        Page references are *not* re-taken on restore: the paged cache's own
+        snapshot already carries refcounts that include the tree's holds, so
+        :meth:`from_state` only rebuilds the trie over the restored pool.
+        """
+
+        def node_state(n: _Node) -> dict:
+            return {
+                "tokens": list(n.tokens),
+                "pages": list(n.pages),
+                "last_used": n.last_used,
+                "children": [node_state(c) for c in n.children.values()],
+            }
+
+        return {"clock": self._clock, "root": node_state(self._root)}
+
+    @classmethod
+    def from_state(cls, cache: PagedKVCache, state: dict) -> "RadixTree":
+        """Rebuild a tree over ``cache`` from :meth:`export_state` output.
+
+        ``cache`` must be the restored pool whose refcounts already include
+        this tree's references — no pages are retained here.
+        """
+        tree = cls.__new__(cls)
+        tree.cache = cache
+        tree.page_size = cache.page_size
+        tree._clock = int(state["clock"])
+        tree._num_cached_pages = 0
+
+        def build(ns: dict, parent: Optional[_Node]) -> _Node:
+            node = _Node(tuple(ns["tokens"]), list(ns["pages"]), parent)
+            node.last_used = int(ns["last_used"])
+            if parent is not None:
+                tree._num_cached_pages += len(node.pages)
+            for cs in ns["children"]:
+                child = build(cs, node)
+                node.children[child.tokens[0]] = child
+            return node
+
+        tree._root = build(state["root"], None)
+        return tree
+
     def __repr__(self) -> str:
         return f"RadixTree(cached_pages={self._num_cached_pages})"

@@ -94,6 +94,8 @@ class StepEvent:
     kv_used_pages: int = 0
     preemptions: int = 0  #: streams evicted while making room for this step
     prefix_cache_hits: int = 0  #: prompts that reused cached prefix pages
+    radix_hit_tokens: int = 0  #: prompt tokens served from the radix cache
+    cascade_levels: int = 0  #: attention levels when run as a cascade (0 = dense)
     kernels: List[KernelRecord] = field(default_factory=list)
     #: Step ran on the degraded (dense-baseline) backend after repeated
     #: kernel faults; always ``False`` outside resilience runs.
@@ -129,6 +131,12 @@ class StepEvent:
             # Only resilience runs carry the key: plain-run exports are
             # byte-identical with and without the fault layer compiled in.
             d["degraded"] = True
+        if self.radix_hit_tokens:
+            # Same convention for the prefix-cache keys: cold-cache exports
+            # are byte-identical with and without the radix layer wired in.
+            d["radix_hit_tokens"] = self.radix_hit_tokens
+        if self.cascade_levels:
+            d["cascade_levels"] = self.cascade_levels
         for comp in STEP_COMPONENTS:
             d[comp] = self.breakdown.get(comp, 0.0)
         d["kernels"] = [k.to_dict() for k in self.kernels]

@@ -113,6 +113,8 @@ class StepTracer:
         self.total_decode_tokens = 0
         self.total_preemptions = 0
         self.total_prefix_hits = 0
+        self.total_radix_hit_tokens = 0
+        self.total_cascade_steps = 0
         self.kernel_time = 0.0
         self.num_kernels = 0
         self.step_hist = RollingHistogram()
@@ -148,6 +150,9 @@ class StepTracer:
         self.total_decode_tokens += event.num_decode_tokens
         self.total_preemptions += event.preemptions
         self.total_prefix_hits += event.prefix_cache_hits
+        self.total_radix_hit_tokens += event.radix_hit_tokens
+        if event.cascade_levels:
+            self.total_cascade_steps += 1
         for k in event.kernels:
             self.kernel_time += k.makespan
             self.num_kernels += 1
@@ -209,6 +214,10 @@ class StepTracer:
             out["degraded_steps"] = float(self.total_degraded_steps)
             for key, n in sorted(self.fault_counts.items()):
                 out[f"fault_{key.replace(':', '_')}"] = float(n)
+        # Same convention: radix/cascade counters only when a hit occurred.
+        if self.total_radix_hit_tokens or self.total_cascade_steps:
+            out["radix_hit_tokens"] = float(self.total_radix_hit_tokens)
+            out["cascade_steps"] = float(self.total_cascade_steps)
         # Same convention: plan-cache counters only when a cache was active.
         if self.plan_cache_hits or self.plan_cache_misses:
             out["plan_cache_hits"] = float(self.plan_cache_hits)

@@ -57,6 +57,7 @@ from repro.serving.workload import (
     mtbench_workload,
     poisson_arrivals,
     sharegpt_workload,
+    shared_prefix_workload,
     uniform_lengths,
     variable_workload,
     zipf_lengths,
@@ -112,6 +113,7 @@ __all__ = [
     "mtbench_workload",
     "poisson_arrivals",
     "sharegpt_workload",
+    "shared_prefix_workload",
     "uniform_lengths",
     "variable_workload",
     "zipf_lengths",

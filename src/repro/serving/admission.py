@@ -49,10 +49,18 @@ class AdmissionController:
 
     def fits(self, tokens: int) -> bool:
         """Admission control: keep one page of decode headroom per live
-        stream so prefill cannot starve running decodes."""
+        stream so prefill cannot starve running decodes.
+
+        Radix-cached pages the tree could evict count as free: cached-but-
+        idle prefixes must never block admission (the batch former evicts
+        them on demand before extending).
+        """
         st, cfg = self.state, self.engine.config
         need = -(-tokens // cfg.page_size) + len(st.streams)
-        return st.cache.num_free_pages >= need
+        free = st.cache.num_free_pages
+        if free < need and st.radix is not None:
+            free += st.radix.evictable_pages()
+        return free >= need
 
     def fits_resume(self, s: Stream) -> bool:
         st, cfg = self.state, self.engine.config
@@ -63,7 +71,10 @@ class AdmissionController:
                 - len(st.cache.seq_pages(s.seq_id))
                 + len(st.streams)
             )
-            return st.cache.num_free_pages >= need
+            free = st.cache.num_free_pages
+            if free < need and st.radix is not None:
+                free += st.radix.evictable_pages()
+            return free >= need
         return self.fits(s.resume_len)
 
     # -- transient-alloc requeue (the unified helper) -------------------------

@@ -19,9 +19,15 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.kvcache.paged import PagedKVCache, TransientAllocFault
+from repro.kvcache.radix import RadixTree
 from repro.serving.metrics import RequestTrace, ServingMetrics
 from repro.serving.workload import Request
-from repro.sparse.composable import PrefixCluster, decompose_shared_prefix
+from repro.sparse.composable import (
+    PrefixCluster,
+    decompose_multi_level,
+    decompose_shared_prefix,
+    detect_shared_prefixes,
+)
 from repro.sparse.layout import AttentionMapping
 
 #: Vocabulary size of the deterministic token model; tokens decoded from a
@@ -40,6 +46,24 @@ def token_id(req_idx: int, gen_index: int, pos: int) -> int:
     ordering decision can change a stream's tokens.
     """
     h = req_idx * 1000003 + gen_index * 8191 + pos * 2654435761
+    return (h & 0x7FFFFFFF) % TOKEN_VOCAB
+
+
+def prompt_token_id(
+    prefix_group: Optional[int], prefix_len: int, rid: int, pos: int
+) -> int:
+    """Deterministic stand-in for a *prompt* token id.
+
+    Positions inside a request's declared shared prefix hash on the
+    ``prefix_group`` alone, so every member of a group (on any replica)
+    carries byte-identical prefix tokens — the structure the radix tree
+    discovers.  Suffix positions hash on the request's cluster-global id,
+    so no two requests ever alias beyond their declared shared prefix.
+    """
+    if prefix_group is not None and pos < prefix_len:
+        h = prefix_group * 7878787 + pos * 2654435761 + 970181
+    else:
+        h = rid * 1000003 + pos * 2654435761 + 615241
     return (h & 0x7FFFFFFF) % TOKEN_VOCAB
 
 
@@ -136,6 +160,9 @@ class RunState:
     preempted: Deque[Stream] = field(default_factory=deque)
     #: prefix_group → (cached pages, cached token count), page-aligned.
     prefix_registry: Dict[int, tuple] = field(default_factory=dict)
+    #: Automatic longest-prefix cache over prompt token ids
+    #: (``EngineConfig.prefix_cache``); ``None`` when the feature is off.
+    radix: Optional[RadixTree] = None
 
     def has_work(self) -> bool:
         return bool(
@@ -150,7 +177,7 @@ class RunState:
         engine snapshot (the cache has its own page-table serializer and
         the request list is re-supplied on recovery).
         """
-        return {
+        state = {
             "waiting": list(self.waiting),
             "prefill_queue": list(self.prefill_queue),
             "streams": [s.to_state() for s in self.streams],
@@ -161,6 +188,9 @@ class RunState:
                 for group, (pages, length) in self.prefix_registry.items()
             },
         }
+        if self.radix is not None:
+            state["radix"] = self.radix.export_state()
+        return state
 
     @classmethod
     def from_state(
@@ -179,6 +209,10 @@ class RunState:
             int(group): ([int(p) for p in entry["pages"]], int(entry["length"]))
             for group, entry in state["prefix_registry"].items()
         }
+        if state.get("radix") is not None:
+            # The restored cache's refcounts already include the tree's
+            # holds, so the rebuild takes no new page references.
+            rs.radix = RadixTree.from_state(cache, state["radix"])
         return rs
 
 
@@ -270,18 +304,69 @@ class BatchFormer:
         cache.retain_pages(pages)
         self.state.prefix_registry[req.prefix_group] = (pages, aligned)
 
-    def _start_prefill_seq(self, cache: PagedKVCache, req: Request):
-        """Create a sequence for ``req``, reusing cached prefix pages.
+    def _prompt_tokens(self, idx: int, length: int) -> List[int]:
+        """The first ``length`` prompt token ids of request ``idx``."""
+        req = self.state.requests[idx]
+        rid = idx if req.rid is None else req.rid
+        group = req.prefix_group
+        plen = req.prefix_len
+        return [prompt_token_id(group, plen, rid, pos) for pos in range(length)]
+
+    def _radix_prefix(self, req: Request, idx: int):
+        """Longest radix-cached prefix usable by ``req``, if any.
+
+        Like :meth:`_cached_prefix`, the reusable length is capped below
+        the full prompt so the last token's logits are always computed.
+        """
+        st, cfg = self.state, self.engine.config
+        if st.radix is None:
+            return None
+        cap = ((req.prompt_len - 1) // cfg.page_size) * cfg.page_size
+        if cap <= 0:
+            return None
+        matched, pages = st.radix.match_prefix(self._prompt_tokens(idx, cap))
+        if matched <= 0:
+            return None
+        return pages, matched
+
+    def _radix_insert(self, idx: int, seq_id: int) -> None:
+        """Register a fully prefilled prompt's whole pages in the tree."""
+        st = self.state
+        if st.radix is None:
+            return
+        req = st.requests[idx]
+        st.radix.insert(
+            self._prompt_tokens(idx, req.prompt_len), st.cache.seq_pages(seq_id)
+        )
+
+    def _reclaim(self, pages_needed: int) -> None:
+        """Evict radix-cached pages before live work has to be preempted."""
+        st = self.state
+        if st.radix is not None and st.cache.num_free_pages < pages_needed:
+            st.radix.evict_until(pages_needed)
+
+    def _start_prefill_seq(self, cache: PagedKVCache, idx: int):
+        """Create a sequence for request ``idx``, reusing cached prefix pages.
 
         Returns ``(seq_id, tokens_to_prefill)``.
         """
-        hit = self._cached_prefix(req)
-        if hit is not None:
-            pages, cached = hit
-            sid = cache.new_seq(shared_pages=pages, shared_len=cached)
-            self.engine._step_prefix_hits += 1
-            return sid, req.prompt_len - cached
-        return cache.new_seq(), req.prompt_len
+        req = self.state.requests[idx]
+        hit = self._radix_prefix(req, idx)
+        radix_hit = hit is not None
+        if hit is None:
+            hit = self._cached_prefix(req)
+        if hit is None:
+            return cache.new_seq(), req.prompt_len
+        pages, cached = hit
+        sid = cache.new_seq(shared_pages=pages, shared_len=cached)
+        eng = self.engine
+        eng._step_prefix_hits += 1
+        if radix_hit:
+            eng._step_radix_hit_tokens += cached
+            m = self.state.metrics
+            m.radix_hit_tokens += cached
+            m.radix_hit_prompts += 1
+        return sid, req.prompt_len - cached
 
     # -- forming --------------------------------------------------------------
 
@@ -293,7 +378,8 @@ class BatchFormer:
         )
         batch: List[int] = []
         tokens = 0
-        pages_left = cache.num_free_pages - len(streams)  # decode headroom
+        evictable = st.radix.evictable_pages() if st.radix is not None else 0
+        pages_left = cache.num_free_pages + evictable - len(streams)  # decode headroom
         while prefill_queue and (
             not batch or tokens + requests[prefill_queue[0]].prompt_len <= cfg.max_prefill_tokens
         ):
@@ -310,7 +396,8 @@ class BatchFormer:
         seqs: List[int] = []
         qo_lens: List[int] = []
         for idx in batch:
-            sid, new_tokens = self._start_prefill_seq(cache, requests[idx])
+            sid, new_tokens = self._start_prefill_seq(cache, idx)
+            self._reclaim(-(-new_tokens // cfg.page_size) + len(streams))
             try:
                 cache.extend(sid, new_tokens)
             except TransientAllocFault:
@@ -318,6 +405,7 @@ class BatchFormer:
                 self.admission.requeue_prompt(idx, t)
                 continue
             self._register_prefix(requests[idx], cache, sid)
+            self._radix_insert(idx, sid)
             ok_batch.append(idx)
             seqs.append(sid)
             qo_lens.append(new_tokens)
@@ -361,7 +449,7 @@ class BatchFormer:
                 if not prefill_queue:
                     break
                 idx = prefill_queue.popleft()
-                sid, _ = self._start_prefill_seq(cache, requests[idx])
+                sid, _ = self._start_prefill_seq(cache, idx)
                 pp = PartialPrefill(idx, sid)
                 pp.filled = cache.seq_len(sid)  # cached prefix already present
                 prefilling.append(pp)
@@ -370,6 +458,7 @@ class BatchFormer:
             chunk = min(budget, remaining)
             # Admission control: leave decode headroom (one page/stream).
             need = -(-chunk // cfg.page_size) + 1
+            self._reclaim(need + len(streams))
             headroom = cache.num_free_pages - len(streams)
             if need > headroom:
                 chunk = max((headroom - 1) * cfg.page_size, 0)
@@ -387,6 +476,7 @@ class BatchFormer:
             pp.filled += chunk
             if pp.filled == requests[pp.req_idx].prompt_len:
                 self._register_prefix(requests[pp.req_idx], cache, pp.seq_id)
+                self._radix_insert(pp.req_idx, pp.seq_id)
                 prefilling.popleft()
             else:
                 break  # the partial prompt keeps the head of the queue
@@ -401,10 +491,9 @@ class BatchFormer:
             causal=True,
         )
         formats: object = mapping
-        if cfg.composable and eng.backend.supports_composable and not eng._step_is_degraded():
-            clusters = self._fork_clusters()
-            if clusters:
-                formats = decompose_shared_prefix(mapping, clusters)
+        cascade = self._compose_formats(mapping)
+        if cascade is not None:
+            formats = cascade
         return StepPlan(
             kind="mixed", formats=formats, mapping=mapping, decode=not segments,
             num_prefill_tokens=sum(chunk for _, chunk in segments),
@@ -414,7 +503,7 @@ class BatchFormer:
 
     def form_decode(self, t: float) -> Optional[StepPlan]:
         """Advance every live decode stream by one token."""
-        eng, cfg, st = self.engine, self.engine.config, self.state
+        eng, st = self.engine, self.state
         cache, streams = st.cache, st.streams
         preempt_before = st.metrics.preemptions
         self._ensure_decode_capacity()
@@ -435,10 +524,9 @@ class BatchFormer:
             causal=True,
         )
         formats: object = mapping
-        if cfg.composable and eng.backend.supports_composable and not eng._step_is_degraded():
-            clusters = self._fork_clusters()
-            if clusters:
-                formats = decompose_shared_prefix(mapping, clusters)
+        cascade = self._compose_formats(mapping)
+        if cascade is not None:
+            formats = cascade
         return StepPlan(
             kind="decode", formats=formats, mapping=mapping, decode=True,
             num_prefill_tokens=0, num_decode_tokens=len(streams),
@@ -470,6 +558,7 @@ class BatchFormer:
             sid = stream.seq_id if stream.seq_id >= 0 else cache.new_seq()
             kept = cache.seq_len(sid)
             recompute = stream.resume_len - kept
+            self._reclaim(-(-recompute // cfg.page_size) + len(streams))
             try:
                 cache.extend(sid, recompute)
             except TransientAllocFault:
@@ -534,6 +623,10 @@ class BatchFormer:
             return needed
 
         while cache.num_free_pages < pages_needed():
+            # Cached-but-idle radix pages go first; preemption only when
+            # eviction can free nothing more.
+            if st.radix is not None and st.radix.evict_until(pages_needed()):
+                continue
             if len(streams) <= 1:
                 raise OutOfPagesError(
                     "KV pool too small for even one stream; increase "
@@ -563,6 +656,72 @@ class BatchFormer:
         if s.seq_id >= 0:
             return -(-s.resume_len // cache.page_size) - len(cache.seq_pages(s.seq_id))
         return -(-s.resume_len // cache.page_size)
+
+    def _compose_formats(self, mapping: AttentionMapping):
+        """The cascade stack for this step's batch, or ``None`` for dense.
+
+        Level 0 peels prefixes the page table itself reveals as shared —
+        radix-cache hits surface here, since a hit aliases whole pages
+        across sequences (paper §3.1.2 detection from the block structure).
+        Level 1 peels per-request fork groups (parallel generations of one
+        prompt) that extend past the level-0 prefix.  Shared pages are then
+        read once per step instead of once per request, with partial states
+        merged by ``⊕``.
+        """
+        eng, cfg, st = self.engine, self.engine.config, self.state
+        if not (
+            cfg.composable
+            and eng.backend.supports_composable
+            and not eng._step_is_degraded()
+        ):
+            return None
+        fork = self._fork_clusters()
+        detected: List[PrefixCluster] = []
+        if st.radix is not None:
+            detected = detect_shared_prefixes(mapping.kv)
+        formats = None
+        if detected:
+            peel = {}
+            for cl in detected:
+                for r in cl.requests:
+                    peel[r] = cl.prefix_len
+            inner = [
+                cl for cl in fork
+                if cl.prefix_len > peel.get(cl.requests[0], 0)
+                and len({peel.get(r, 0) for r in cl.requests}) == 1
+            ]
+            levels = [detected, inner] if inner else [detected]
+            try:
+                comp = decompose_multi_level(mapping, levels)
+                if len(comp) > 1:
+                    formats = comp
+            except ValueError:
+                formats = None  # degenerate geometry: fall through to dense
+        if formats is None and fork:
+            comp = decompose_shared_prefix(mapping, fork)
+            if len(comp) > 1:
+                formats = comp
+        if formats is not None:
+            self._note_cascade(formats)
+        eng._step_cascade_levels = len(formats) if formats is not None else 0
+        return formats
+
+    def _note_cascade(self, formats) -> None:
+        """Account HBM traffic the cascade avoids: each prefix-level group
+        is read once per step instead of once per covered query row."""
+        eng, m = self.engine, self.state.metrics
+        model = eng.model
+        saved_tokens = 0
+        for fmt in formats.mappings[:-1]:  # prefix levels only
+            spans = np.diff(fmt.qo_indptr)
+            saved_tokens += int(np.sum((spans - 1) * fmt.kv.kv_lens))
+        if saved_tokens <= 0:
+            return
+        bytes_per_token = model.num_kv_heads * model.head_dim * 2 * 2  # K+V, fp16
+        m.cascade_steps += 1
+        m.cascade_bytes_saved += float(
+            saved_tokens * bytes_per_token * model.num_layers
+        )
 
     def _fork_clusters(self) -> List[PrefixCluster]:
         """Consecutive streams of the same request share its prompt pages."""

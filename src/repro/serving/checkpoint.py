@@ -217,6 +217,7 @@ def build_snapshot(engine, state, admission, t: float) -> dict:
         "steps_done": engine._steps_done,
         "event_index": engine._event_index,
         "step_prefix_hits": engine._step_prefix_hits,
+        "step_radix_hit_tokens": engine._step_radix_hit_tokens,
         "requests": [dataclasses.asdict(r) for r in state.requests],
         "run_state": state.export_state(),
         "cache": state.cache.export_state(),

@@ -113,6 +113,14 @@ class EngineConfig:
     #: shared ``prefix_group`` reuse the group's cached prompt pages and
     #: prefill only their unique suffix (§5.4, RadixAttention).
     prefix_caching: bool = False
+    #: Automatic longest-prefix caching over prompt *token ids* via the
+    #: :class:`repro.kvcache.radix.RadixTree`: on admission the longest
+    #: cached page-aligned prefix is looked up and skipped; on prefill
+    #: completion the prompt's whole pages are inserted, with LRU eviction
+    #: under pool pressure.  Needs no ``prefix_group`` annotation to find
+    #: sharing, and combines with ``composable`` to serve shared prefixes
+    #: through the multi-level cascade (§3.1.2).
+    prefix_cache: bool = False
     #: Scheduling-policy name (see :mod:`repro.serving.policy`): ``fcfs``
     #: (the default, token-exact with the classic engine), ``priority``,
     #: ``sla-aware``, or any name registered via ``register_policy`` / the
@@ -123,6 +131,17 @@ class EngineConfig:
     #: a hit returns a plan identical to the one it replaces.
     plan_cache: bool = True
     plan_cache_entries: int = 1024
+
+
+def _shard_heads(model: ModelConfig, tensor_parallel: int) -> HeadConfig:
+    """Per-shard head partitioning under tensor parallelism."""
+    return HeadConfig(
+        model.num_qo_heads // tensor_parallel
+        if model.num_qo_heads % tensor_parallel == 0
+        else model.num_qo_heads,
+        max(model.num_kv_heads // tensor_parallel, 1),
+        model.head_dim,
+    )
 
 
 class ServingEngine:
@@ -178,6 +197,8 @@ class ServingEngine:
         self._event_index = 0
         self._steps_done = 0
         self._step_prefix_hits = 0
+        self._step_radix_hit_tokens = 0
+        self._step_cascade_levels = 0
         # Crash-recovery state, all ``None``/``False`` on the plain path.
         self._ckpt: Optional[Checkpointer] = None
         self._journal: Optional[Journal] = None
@@ -196,13 +217,7 @@ class ServingEngine:
         self._deadlines_active = False
         self._cache: Optional[PagedKVCache] = None
         self._prefix_registry: dict = {}
-        self.heads = HeadConfig(
-            model.num_qo_heads // self.config.tensor_parallel
-            if model.num_qo_heads % self.config.tensor_parallel == 0
-            else model.num_qo_heads,
-            max(model.num_kv_heads // self.config.tensor_parallel, 1),
-            model.head_dim,
-        )
+        self.heads = _shard_heads(model, self.config.tensor_parallel)
         if backend.heads != self.heads:
             raise ValueError(
                 f"backend heads {backend.heads} != engine shard heads {self.heads}; "
@@ -223,6 +238,35 @@ class ServingEngine:
         )
         if self.plan_cache is not None:
             backend.set_plan_cache(self.plan_cache)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: Optional[EngineConfig] = None,
+        *,
+        model: Optional[ModelConfig] = None,
+        gpu: Optional[GPUSpec] = None,
+        backend_factory=None,
+        **kwargs,
+    ) -> "ServingEngine":
+        """The one construction path shared by the CLI, benchmarks and tests.
+
+        Builds the per-shard head config from ``config.tensor_parallel``
+        and a matching backend (``backend_factory(heads, gpu)``, default
+        :class:`~repro.serving.backends.FlashInferBackend`).  Remaining
+        keyword arguments (``tracer``, ``fault_plan``, ``checkpoint``,
+        ``interconnect``, ...) pass through to the constructor.
+        """
+        from repro.gpu.spec import H100_80G
+        from repro.serving.backends import FlashInferBackend
+        from repro.serving.model import LLAMA_3_1_8B
+
+        cfg = config if config is not None else EngineConfig()
+        model = model if model is not None else LLAMA_3_1_8B
+        gpu = gpu if gpu is not None else H100_80G
+        factory = backend_factory if backend_factory is not None else FlashInferBackend
+        heads = _shard_heads(model, cfg.tensor_parallel)
+        return cls(model, factory(heads, gpu), gpu, cfg, **kwargs)
 
     # -- shared hooks (used by every pipeline layer) ----------------------------
 
@@ -255,6 +299,27 @@ class ServingEngine:
 
     def _step_is_degraded(self) -> bool:
         return self._degrade is not None and self._degrade.degraded
+
+    def _prefix_stats(self, metrics: ServingMetrics, state) -> Dict[str, float]:
+        """Radix-cache / cascade savings for the run summary.
+
+        FLOPs saved are the GEMM work of the prefill tokens the cache
+        skipped (model-level, tp-independent); HBM bytes saved come from
+        the cascade reading each shared-prefix page once per step.
+        """
+        m = self.model
+        return {
+            "radix_hit_tokens": float(metrics.radix_hit_tokens),
+            "radix_hit_prompts": float(metrics.radix_hit_prompts),
+            "prefill_flops_saved": float(
+                m.num_layers * m.layer_gemm_flops(metrics.radix_hit_tokens)
+            ),
+            "cascade_steps": float(metrics.cascade_steps),
+            "cascade_hbm_bytes_saved": float(metrics.cascade_bytes_saved),
+            "radix_cached_pages": float(
+                state.radix.num_cached_pages if state.radix is not None else 0
+            ),
+        }
 
     def _fault_stats(self, plan: Optional[FaultPlan], metrics: ServingMetrics) -> Dict[str, float]:
         c = self._fault_counters
@@ -345,6 +410,8 @@ class ServingEngine:
         self._event_index = 0
         self._steps_done = 0
         self._step_prefix_hits = 0
+        self._step_radix_hit_tokens = 0
+        self._step_cascade_levels = 0
         self.backend.collect_kernel_reports = (
             self._tracer is not None and self._tracer.capture_kernels
         )
@@ -385,6 +452,10 @@ class ServingEngine:
             requests=requests, cache=cache, metrics=ServingMetrics(),
             waiting=deque(range(len(requests))),
         )
+        if cfg.prefix_cache:
+            from repro.kvcache.radix import RadixTree
+
+            state.radix = RadixTree(cache)
         self._prefix_registry = state.prefix_registry  # back-compat alias
         admission = AdmissionController(self, state)
         self._wire_checkpoint(state, admission, t=0.0, genesis=True)
@@ -431,6 +502,8 @@ class ServingEngine:
         self._event_index = int(snap["event_index"])
         self._steps_done = int(snap["steps_done"])
         self._step_prefix_hits = int(snap["step_prefix_hits"])
+        self._step_radix_hit_tokens = int(snap.get("step_radix_hit_tokens", 0))
+        self._step_cascade_levels = 0
         requests = recovered.requests  # snapshot order is arrival-sorted
         self._degrade = DegradeController(resil.degrade_after, resil.anneal_after)
         if snap["degrade"] is not None:
@@ -570,6 +643,8 @@ class ServingEngine:
             self._journal.complete(t)
         if pc is not None:
             metrics.plan_cache_stats = pc.stats(since=pc_before)
+        if cfg.prefix_cache:
+            metrics.prefix_stats = self._prefix_stats(metrics, state)
         if self._tracer is not None:
             if pc is not None:
                 self._tracer.note_plan_cache(

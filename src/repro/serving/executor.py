@@ -342,6 +342,8 @@ class Postprocessor:
             kv_used_pages=cache.num_used_pages,
             preemptions=preemptions,
             prefix_cache_hits=eng._step_prefix_hits,
+            radix_hit_tokens=eng._step_radix_hit_tokens,
+            cascade_levels=eng._step_cascade_levels,
         )
         if eng._degrade is not None and ex.step_degraded:
             event.degraded = True
@@ -355,6 +357,8 @@ class Postprocessor:
             ]
         eng._event_index += 1
         eng._step_prefix_hits = 0
+        eng._step_radix_hit_tokens = 0
+        eng._step_cascade_levels = 0
         tracer.on_step(event)
 
     def _emit_idle(self, t_start: float, t_end: float) -> None:

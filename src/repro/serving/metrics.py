@@ -103,6 +103,21 @@ class ServingMetrics:
     #: ``plan_cache_misses``, ``plan_cache_hit_rate``, ``plan_cache_entries``);
     #: attached by the engine when its :class:`repro.serving.PlanCache` is on.
     plan_cache_stats: Optional[Dict[str, float]] = None
+    #: Prompt tokens served from the radix prefix cache instead of being
+    #: recomputed at prefill (whole-page granularity).
+    radix_hit_tokens: int = 0
+    #: Prompts that admitted with a non-empty radix hit.
+    radix_hit_prompts: int = 0
+    #: Steps that ran attention through a multi-level cascade (shared-prefix
+    #: KV loaded once per level instead of once per request).
+    cascade_steps: int = 0
+    #: Estimated HBM bytes of shared-prefix K/V traffic the cascade avoided
+    #: re-reading, summed over cascade steps.
+    cascade_bytes_saved: float = 0.0
+    #: Prefix-cache roll-up (``radix_hit_tokens``, ``prefill_flops_saved``,
+    #: ``cascade_hbm_bytes_saved``, …); attached by the engine at end of run
+    #: when ``EngineConfig.prefix_cache`` is on.
+    prefix_stats: Optional[Dict[str, float]] = None
 
     def add(self, trace: RequestTrace) -> None:
         self.traces.append(trace)
@@ -161,6 +176,8 @@ class ServingMetrics:
                 out[f"obs_{key}"] = value
         if self.plan_cache_stats is not None:
             out.update(self.plan_cache_stats)
+        if self.prefix_stats is not None:
+            out.update(self.prefix_stats)
         if self.fault_stats is not None:
             out.update(self.fault_stats)
             # Per-request shed records: which stream was shed, and when.
@@ -189,6 +206,10 @@ class ServingMetrics:
             merged.total_output_tokens += p.total_output_tokens
             merged.preemptions += p.preemptions
             merged.recover_resumed += p.recover_resumed
+            merged.radix_hit_tokens += p.radix_hit_tokens
+            merged.radix_hit_prompts += p.radix_hit_prompts
+            merged.cascade_steps += p.cascade_steps
+            merged.cascade_bytes_saved += p.cascade_bytes_saved
             merged.total_time = max(merged.total_time, p.total_time)
         return merged
 
@@ -205,6 +226,10 @@ class ServingMetrics:
             "total_output_tokens": self.total_output_tokens,
             "preemptions": self.preemptions,
             "recover_resumed": self.recover_resumed,
+            "radix_hit_tokens": self.radix_hit_tokens,
+            "radix_hit_prompts": self.radix_hit_prompts,
+            "cascade_steps": self.cascade_steps,
+            "cascade_bytes_saved": self.cascade_bytes_saved,
         }
 
     @classmethod
@@ -217,4 +242,8 @@ class ServingMetrics:
             recover_resumed=int(state["recover_resumed"]),
         )
         m.shed_traces = [RequestTrace.from_state(t) for t in state["shed_traces"]]
+        m.radix_hit_tokens = int(state.get("radix_hit_tokens", 0))
+        m.radix_hit_prompts = int(state.get("radix_hit_prompts", 0))
+        m.cascade_steps = int(state.get("cascade_steps", 0))
+        m.cascade_bytes_saved = float(state.get("cascade_bytes_saved", 0.0))
         return m

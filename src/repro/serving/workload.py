@@ -116,6 +116,40 @@ def variable_workload(
     ]
 
 
+def shared_prefix_workload(
+    num_requests: int,
+    rate: float,
+    seed: SeedLike = 0,
+    num_groups: int = 3,
+    prefix_len: int = 2048,
+    suffix_lo: int = 32,
+    suffix_hi: int = 256,
+    output_lo: int = 8,
+    output_hi: int = 64,
+) -> List[Request]:
+    """Many-users-few-system-prompts workload (the radix-cache target).
+
+    Every request draws one of ``num_groups`` shared system prompts of
+    ``prefix_len`` tokens, followed by a short per-user suffix — with the
+    defaults well over 70% of all prompt tokens are shared-prefix tokens,
+    the regime where prefix caching plus cascade attention pays off.
+    """
+    if num_groups <= 0 or prefix_len <= 0:
+        raise ValueError("num_groups and prefix_len must be positive")
+    rng = new_rng(seed)
+    arrivals = poisson_arrivals(num_requests, rate, rng)
+    groups = rng.integers(0, num_groups, size=num_requests)
+    suffixes = rng.integers(suffix_lo, suffix_hi + 1, size=num_requests)
+    outputs = rng.integers(output_lo, output_hi + 1, size=num_requests)
+    return [
+        Request(
+            float(a), prefix_len + int(s), int(o),
+            prefix_group=int(g), prefix_len=prefix_len,
+        )
+        for a, g, s, o in zip(arrivals, groups, suffixes, outputs)
+    ]
+
+
 def mtbench_workload(
     num_requests: int,
     rate: float,

@@ -1,8 +1,11 @@
-"""Tests for the pool_num_pages deprecation policy on the paged wrappers.
+"""Tests for the removed pool_num_pages argument on the paged wrappers.
 
-The argument is inferred from the page table since the API redesign; an
-explicit value warns exactly once per wrapper instance, and a value that
-contradicts the page table raises instead of silently under-sizing.
+The argument was deprecated (warn-once) in the first API-redesign pass and
+is now removed outright: the pool size is inferred from the page-table
+indices at ``plan()`` time and validated against the K/V pools handed to
+``run()``.  Passing the old argument — positionally or by keyword — must
+raise ``TypeError`` with a migration hint, never silently rebind to a
+neighbouring parameter.
 """
 
 import warnings
@@ -16,6 +19,8 @@ from repro.api import (
 )
 from repro.gpu import WorkspaceBuffer
 from repro.kvcache import PagedKVCache
+
+MIGRATION_HINT = r"no longer accepts.*pool_num_pages.*[Dd]rop the argument"
 
 
 def build_cache(kv_lens, rng, page_size=16):
@@ -38,72 +43,69 @@ def decode_wrapper():
     return BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
 
 
-def caught(wrapper, layout, last, pool):
-    with warnings.catch_warnings(record=True) as rec:
-        warnings.simplefilter("always")
-        wrapper.plan(layout.indptr, layout.indices, last, pool)
-    return [w for w in rec if issubclass(w.category, DeprecationWarning)]
+def prefill_wrapper():
+    return BatchPrefillWithPagedKVCacheWrapper(
+        WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=5
+    )
 
 
-class TestWarnOncePerWrapper:
-    def test_second_plan_does_not_rewarn(self, rng):
+class TestRemovedArgumentRejected:
+    def test_decode_keyword_raises_with_hint(self, rng):
         cache, layout, last = build_cache([40], rng)
         w = decode_wrapper()
-        assert len(caught(w, layout, last, cache.num_pages)) == 1
-        assert len(caught(w, layout, last, cache.num_pages)) == 0
+        with pytest.raises(TypeError, match=MIGRATION_HINT):
+            w.plan(layout.indptr, layout.indices, last,
+                   pool_num_pages=cache.num_pages)
 
-    def test_fresh_wrapper_warns_again(self, rng):
+    def test_decode_positional_raises_with_hint(self, rng):
+        """The old 4th positional slot must not silently rebind."""
         cache, layout, last = build_cache([40], rng)
-        assert len(caught(decode_wrapper(), layout, last, cache.num_pages)) == 1
-        assert len(caught(decode_wrapper(), layout, last, cache.num_pages)) == 1
+        w = decode_wrapper()
+        with pytest.raises(TypeError, match=MIGRATION_HINT):
+            w.plan(layout.indptr, layout.indices, last, cache.num_pages)
 
-    def test_prefill_wrapper_warns_once_too(self, rng):
+    def test_prefill_keyword_raises_with_hint(self, rng):
         cache, layout, last = build_cache([50], rng)
-        w = BatchPrefillWithPagedKVCacheWrapper(
-            WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=5
-        )
-        qo_indptr = np.array([0, 5])
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            w.plan(qo_indptr, layout.indptr, layout.indices, last, cache.num_pages)
-            w.plan(qo_indptr, layout.indptr, layout.indices, last, cache.num_pages)
-        assert sum(issubclass(r.category, DeprecationWarning) for r in rec) == 1
+        w = prefill_wrapper()
+        with pytest.raises(TypeError, match=MIGRATION_HINT):
+            w.plan(np.array([0, 5]), layout.indptr, layout.indices, last,
+                   pool_num_pages=cache.num_pages)
 
+    def test_prefill_positional_raises_with_hint(self, rng):
+        cache, layout, last = build_cache([50], rng)
+        w = prefill_wrapper()
+        with pytest.raises(TypeError, match=MIGRATION_HINT):
+            w.plan(np.array([0, 5]), layout.indptr, layout.indices, last,
+                   cache.num_pages)
+
+    def test_rejection_leaves_wrapper_unplanned(self, rng):
+        cache, layout, last = build_cache([40], rng)
+        w = decode_wrapper()
+        with pytest.raises(TypeError):
+            w.plan(layout.indptr, layout.indices, last, cache.num_pages)
+        with pytest.raises(RuntimeError, match="before plan"):
+            w.run(rng.standard_normal((1, 4, 32)), cache.k_pool, cache.v_pool)
+
+    def test_other_unknown_keyword_still_plain_type_error(self, rng):
+        cache, layout, last = build_cache([40], rng)
+        w = decode_wrapper()
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            w.plan(layout.indptr, layout.indices, last, bogus=3)
+
+
+class TestInferredPath:
     def test_inferred_plan_never_warns(self, rng):
         cache, layout, last = build_cache([40], rng)
         w = decode_wrapper()
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             w.plan(layout.indptr, layout.indices, last)
             w.plan(layout.indptr, layout.indices, last)
 
-
-class TestMismatchRejected:
-    def test_pool_smaller_than_page_table_raises(self, rng):
+    def test_run_validates_pool_against_inferred_bound(self, rng):
         cache, layout, last = build_cache([40, 111], rng)
         w = decode_wrapper()
-        too_small = int(layout.indices.max())  # one short of required
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            with pytest.raises(ValueError, match="contradicts the page table"):
-                w.plan(layout.indptr, layout.indices, last, too_small)
-
-    def test_larger_pool_value_accepted(self, rng):
-        """Oversized explicit values are legal (deprecated but harmless)."""
-        cache, layout, last = build_cache([40], rng)
-        w = decode_wrapper()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            w.plan(layout.indptr, layout.indices, last, cache.num_pages * 2)
-
-    def test_rejection_still_warns_first(self, rng):
-        """Even a rejected plan() burns the one-time warning: the caller
-        sees both signals on the first bad call."""
-        cache, layout, last = build_cache([40, 111], rng)
-        w = decode_wrapper()
-        too_small = int(layout.indices.max())
-        with warnings.catch_warnings(record=True) as rec:
-            warnings.simplefilter("always")
-            with pytest.raises(ValueError):
-                w.plan(layout.indptr, layout.indices, last, too_small)
-        assert sum(issubclass(r.category, DeprecationWarning) for r in rec) == 1
+        w.plan(layout.indptr, layout.indices, last)
+        q = rng.standard_normal((2, 4, 32))
+        with pytest.raises(ValueError, match="pool holds"):
+            w.run(q, cache.k_pool[:16], cache.v_pool[:16])

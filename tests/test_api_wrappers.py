@@ -237,26 +237,27 @@ class TestPlanRunDiscipline:
 class TestPoolInference:
     """pool_num_pages is inferred at plan() and validated at run()."""
 
-    def test_explicit_pool_num_pages_deprecated(self, rng):
+    def test_explicit_pool_num_pages_removed(self, rng):
         cache, seqs, layout, last = build_cache([40], rng)
         w = BatchDecodeWithPagedKVCacheWrapper(WorkspaceBuffer(1 << 26), 4, 2, 32, 16)
-        with pytest.warns(DeprecationWarning, match="pool_num_pages.*deprecated"):
+        with pytest.raises(TypeError, match="pool_num_pages"):
             w.plan(layout.indptr, layout.indices, last, cache.num_pages)
-        # The deprecated path still computes the same answer.
+        # The inferred path computes the same answer the old one did.
+        w.plan(layout.indptr, layout.indices, last)
         q = rng.standard_normal((1, 4, 32))
         out = w.run(q, cache.k_pool, cache.v_pool)
         k, v = cache.gather(seqs[0])
         ref = reference_attention(q[0:1], fp16(k), fp16(v), causal=True)
         np.testing.assert_allclose(out[0:1], ref, atol=1e-6)
 
-    def test_prefill_explicit_pool_num_pages_deprecated(self, rng):
+    def test_prefill_explicit_pool_num_pages_removed(self, rng):
         cache, seqs, layout, last = build_cache([50], rng)
         w = BatchPrefillWithPagedKVCacheWrapper(
             WorkspaceBuffer(1 << 27), 4, 2, 32, 16, avg_qo_len=5
         )
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="pool_num_pages"):
             w.plan(np.array([0, 5]), layout.indptr, layout.indices, last,
-                   cache.num_pages)
+                   pool_num_pages=cache.num_pages)
 
     def test_inferred_plan_emits_no_warning(self, rng):
         import warnings

@@ -89,8 +89,8 @@ def test_session_affinity_groups_land_together():
 
 def test_registry_contract():
     names = available_routing_policies()
-    assert names[:4] == ("least-loaded", "power-of-two", "round-robin",
-                         "session-affinity")
+    assert names[:5] == ("cache-aware", "least-loaded", "power-of-two",
+                         "round-robin", "session-affinity")
     assert isinstance(get_routing_policy("round-robin"), RoundRobinPolicy)
     with pytest.raises(ValueError, match="unknown routing policy"):
         get_routing_policy("nope")
