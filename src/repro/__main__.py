@@ -97,7 +97,7 @@ def _cmd_serve(args) -> int:
         return _serve_recover(args, model, heads)
     if args.prefix_cache:
         return _serve_prefix(args, model)
-    if args.tp > 1 or args.dp > 1:
+    if args.tp > 1 or args.dp > 1 or args.fail_replica is not None:
         return _serve_cluster(args, model)
     requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
     if args.crash:
@@ -158,24 +158,48 @@ def _cmd_serve(args) -> int:
 def _serve_cluster(args, model) -> int:
     """The ``serve --tp N --dp M`` pass: run the workload on a simulated
     multi-GPU cluster, verify token-exactness against a single-GPU
-    reference run, and report cluster/replica/link utilization."""
-    from repro.cluster import ClusterConfig, ClusterEngine, expected_tokens
+    reference run, and report cluster/replica/link utilization.  With
+    ``--fail-replica`` the run also kills (or drains) replica 0 mid-run
+    and recovers it through the failover pipeline: heartbeat detection,
+    live KV migration to a healthy replica over priced links, and a
+    token-exact takeover resume."""
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterEngine,
+        FailoverConfig,
+        ReplicaFailure,
+        expected_tokens,
+    )
     from repro.gpu import H100_80G
     from repro.serving import EngineConfig, sharegpt_workload
+
+    failure = None
+    if args.fail_replica is not None:
+        step, _, mode = str(args.fail_replica).partition(":")
+        failure = ReplicaFailure(int(step), mode or "crash")
 
     requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
     cfg = ClusterConfig(
         tp=args.tp, dp=args.dp, topology=args.topology, router=args.router,
         engine=EngineConfig(max_running=256, policy=args.policy),
         checkpoint_every=args.checkpoint_every,
+        failover=FailoverConfig() if failure is not None else None,
     )
-    cluster = ClusterEngine(model, H100_80G, cfg, trace=bool(args.trace))
+    cluster = ClusterEngine(
+        model, H100_80G, cfg, trace=bool(args.trace),
+        replica_failures={0: failure} if failure is not None else None,
+    )
     print(
         f"{args.requests} ShareGPT-like requests at {args.rate} req/s, "
         f"{model.name} on a {args.tp * args.dp}-GPU H100 cluster "
         f"(tp={args.tp}, dp={args.dp}, {args.topology} topology, "
         f"{args.router} router)"
     )
+    if failure is not None:
+        print(
+            f"  failover  : replica 0 scripted to {failure.mode} at engine "
+            f"step {failure.step} (heartbeat detection + live KV migration)"
+        )
     reference = cluster.run_reference(requests)
     cm = cluster.run(requests)
     s = cm.summary()
@@ -198,6 +222,21 @@ def _serve_cluster(args, model) -> int:
             f"{s['link_utilization']:.1%} busy "
             f"({cluster.topology.link.name}, "
             f"{int(s['link_degradations'])} degradation windows)"
+        )
+    if failure is not None:
+        print(
+            f"  failover  : detected in {s['failover_detect_s'] * 1e3:.1f} ms, "
+            f"recovered in {s['failover_recovery_s'] * 1e3:.1f} ms "
+            f"({int(s['failover_transitions'])} health transitions, "
+            f"{int(s['failover_inflight_migrated'])} in-flight streams "
+            f"carried over, {int(s['failover_fallbacks'])} fallbacks)"
+        )
+        print(
+            f"  migration : migration_pages={int(s['migration_pages'])} in "
+            f"{int(s['migration_chunks'])} chunks, "
+            f"{s['migration_bytes'] / 1e6:.2f} MB wire "
+            f"({int(s['migration_retries'])} link retries, "
+            f"link_migration_bytes={int(s.get('link_migration_bytes', 0))})"
         )
     if args.dp > 1:
         base = ClusterEngine(
@@ -678,6 +717,15 @@ def main(argv=None) -> int:
         metavar="P",
         help="additionally arm seeded-random engine death at probability P "
         "per step phase (requires --crash for the kill/restore harness)",
+    )
+    serve.add_argument(
+        "--fail-replica", default=None, dest="fail_replica",
+        metavar="STEP[:crash|drain]",
+        help="cluster failover demo: kill (or drain, for planned scale-in) "
+        "replica 0 at engine step STEP with failover enabled — heartbeat "
+        "timeout detection, live KV migration to a healthy replica over "
+        "priced topology links, token-exact takeover resume (use with "
+        "--dp >= 2; dp=1 falls back to in-place recovery)",
     )
 
     sub.add_parser("figures", help="how to regenerate the paper figures")

@@ -20,6 +20,9 @@ Layered exactly like a real serving stack:
 * :mod:`repro.cluster.engine` — the :class:`ClusterEngine` running
   ``dp`` replicas on a shared simulated clock, token-exact against the
   single-GPU engine.
+* :mod:`repro.cluster.failover` — heartbeat failure detection, the
+  per-replica health state machine, live KV migration over priced
+  links, and token-exact takeover.
 
 The topology/collectives/router layer is import-light (no serving
 dependency) and loads eagerly; the tp/engine layer imports the serving
@@ -76,6 +79,20 @@ _LAZY = {
     "TPSharding": "tp",
     "make_tp_engine": "tp",
     "plan_tp_sharding": "tp",
+    "FailoverConfig": "failover",
+    "FailoverController": "failover",
+    "FailoverReport": "failover",
+    "FailureDetector": "failover",
+    "HEALTH_STATES": "failover",
+    "HealthSchedule": "failover",
+    "HealthTransition": "failover",
+    "IllegalTransitionError": "failover",
+    "KVMigrator": "failover",
+    "MigrationChecksumError": "failover",
+    "MigrationError": "failover",
+    "MigrationReport": "failover",
+    "ReplicaFailure": "failover",
+    "ReplicaHealth": "failover",
 }
 
 __all__ = [

@@ -142,15 +142,25 @@ def p2p_send(
     topology: Optional[Topology] = None,
     efficiency: float = 1.0,
     t: float = 0.0,
+    kind: str = "p2p",
+    wire_bytes: Optional[float] = None,
 ) -> Tuple[np.ndarray, float]:
-    """Send an array to a neighbour; the receiver gets a bitwise copy."""
+    """Send an array to a neighbour; the receiver gets a bitwise copy.
+
+    ``kind`` names the traffic bucket charged on the topology (KV
+    migration uses ``"migration"`` so it shows up as its own
+    ``link_migration_*`` stats).  ``wire_bytes`` overrides the priced
+    payload size when the array is a stand-in for larger modeled traffic
+    — migration ships page-table metadata bitwise but prices the KV
+    pages those entries represent.
+    """
     a = np.asarray(array)
     received = a.copy()
     cost = 0.0
     if topology is not None:
-        nbytes = float(a.nbytes)
+        nbytes = float(a.nbytes) if wire_bytes is None else float(wire_bytes)
         cost = topology.p2p_time(nbytes, efficiency, t)
-        topology.charge("p2p", nbytes, cost)
+        topology.charge(kind, nbytes, cost)
     return received, cost
 
 

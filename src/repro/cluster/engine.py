@@ -17,18 +17,33 @@ every stream against a reference run's tokens).
 
 Fault injection composes with the existing layers: ``link_faults``
 install bandwidth-derating windows on the shared topology (steps priced
-inside a window slow down), and ``replica_crashes`` script engine deaths
-per replica, recovered through the PR-4 checkpoint/journal path via
-:class:`~repro.serving.checkpoint.CrashHarness` — the cluster completes
-with ``token_divergence=0`` anyway.
+inside a window slow down), and ``replica_failures`` script replica
+deaths (or drains).  Without :attr:`ClusterConfig.failover` a crashed
+replica heals itself in place through the PR-4 checkpoint/journal path
+(:class:`~repro.serving.checkpoint.CrashHarness`); with failover
+configured the cluster runs the full
+:mod:`repro.cluster.failover` pipeline instead — heartbeat timeout
+detection, live KV migration to a healthy host over priced topology
+links, and a token-exact takeover resume.  Either way the cluster
+completes with ``token_divergence=0``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.failover import (
+    FailoverConfig,
+    FailoverController,
+    MigrationError,
+    ReplicaFailure,
+    clamp_arrival,
+    inflight_units,
+    DEFAULT_UNHEALTHY_PRESSURE,
+)
 from repro.cluster.router import LoadTracker, get_routing_policy
 from repro.cluster.topology import Topology
 from repro.cluster.tp import TPInterconnect, plan_tp_sharding
@@ -88,6 +103,11 @@ class ClusterConfig:
     #: Snapshot cadence for replicas (0 = off unless a replica has a crash
     #: script, which forces a default cadence of 4).
     checkpoint_every: int = 0
+    #: Failover policy (:class:`repro.cluster.failover.FailoverConfig`).
+    #: ``None`` (the default) disables the subsystem entirely — scripted
+    #: replica crashes then recover in place via the PR-4 harness and the
+    #: run is bit-identical to the pre-failover engine.
+    failover: Optional[FailoverConfig] = None
 
 
 @dataclass
@@ -107,6 +127,12 @@ class ClusterMetrics:
     #: Per-replica :class:`~repro.serving.checkpoint.CrashReport` for
     #: replicas that ran under a crash script (``None`` entries otherwise).
     crash_reports: Optional[List[object]] = None
+    #: :class:`~repro.cluster.failover.FailoverReport` when the run had
+    #: failover configured; ``None`` otherwise (summaries unchanged).
+    failover: Optional[object] = None
+    #: Arrivals held at the front door because every replica was
+    #: unhealthy (queued until the first rejoin, never dropped).
+    held_requests: int = 0
 
     @property
     def merged(self):
@@ -198,6 +224,13 @@ class ClusterMetrics:
             out["cluster_recoveries"] = float(
                 sum(r.recoveries for r in self.crash_reports if r is not None)
             )
+        if self.held_requests:
+            out["cluster_held_requests"] = float(self.held_requests)
+        if self.failover is not None:
+            # Failover/migration counters, only on failover-enabled runs.
+            out.update(self.failover.summary())
+            for i, p in enumerate(self.failover.admission_pressure):
+                out[f"replica{i}_admission_pressure"] = float(p)
         out.update(self.topology.link_stats(makespan=makespan))
         return out
 
@@ -211,9 +244,23 @@ class ClusterEngine:
     replica (:meth:`trace_processes` feeds
     :func:`repro.obs.write_cluster_trace`).  ``link_faults`` is a
     sequence of ``(t_start, t_end, factor)`` bandwidth deratings on the
-    shared topology; ``replica_crashes`` maps replica index → crash
-    script (``(step, phase)`` pairs) run through the checkpoint-recovery
-    harness.
+    shared topology.
+
+    ``replica_failures`` maps replica index → a
+    :class:`~repro.cluster.failover.ReplicaFailure` (or a sequence of
+    them) scripting a crash or drain at an engine step; seeded-random
+    replica deaths come from ``fault_plan``'s ``replica`` site (one draw
+    per replica per run).  With :attr:`ClusterConfig.failover` set,
+    failures go through detection → KV migration → takeover; without
+    it, crashes recover in place via
+    :class:`~repro.serving.checkpoint.CrashHarness` (drains then raise —
+    a drain *is* a migration).  ``fault_plan``'s ``link`` site injects
+    transfer faults into migrations.  ``health_schedule`` feeds known
+    unhealthy windows into the routing pass (skip, backpressure, and
+    hold-at-the-door when everything is down).
+
+    ``replica_crashes`` (``{replica: [(step, phase), ...]}``) is the
+    deprecated pre-failover spelling of scripted crashes.
     """
 
     def __init__(
@@ -225,6 +272,9 @@ class ClusterEngine:
         trace: bool = False,
         link_faults: Sequence[Tuple[float, float, float]] = (),
         replica_crashes: Optional[Dict[int, Sequence[Tuple[int, str]]]] = None,
+        replica_failures: Optional[Dict[int, object]] = None,
+        fault_plan=None,
+        health_schedule=None,
     ):
         self.model = model
         self.gpu = gpu
@@ -244,7 +294,30 @@ class ClusterEngine:
 
             backend_factory = FlashInferBackend
         self.backend_factory = backend_factory
-        self.replica_crashes = dict(replica_crashes or {})
+        #: Normalized ``{replica: [ReplicaFailure, ...]}``.
+        self.replica_failures: Dict[int, List[ReplicaFailure]] = {}
+        for r, fs in (replica_failures or {}).items():
+            if isinstance(fs, ReplicaFailure):
+                fs = [fs]
+            self.replica_failures[int(r)] = [f for f in fs]
+        if replica_crashes:
+            warnings.warn(
+                "replica_crashes is deprecated; use replica_failures="
+                "{replica: [ReplicaFailure(step, 'crash', phase), ...]}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            for r, script in replica_crashes.items():
+                self.replica_failures.setdefault(int(r), []).extend(
+                    ReplicaFailure(step, "crash", phase) for step, phase in script
+                )
+        #: Cluster-level :class:`~repro.faults.FaultPlan` (``replica`` and
+        #: ``link`` sites); independent of any per-engine chaos plan.
+        self.fault_plan = fault_plan
+        #: Optional :class:`~repro.cluster.failover.HealthSchedule` the
+        #: routing pass consults.
+        self.health_schedule = health_schedule
+        self._held_requests = 0
         self.tracers = None
         if trace:
             from repro.obs.tracer import StepTracer
@@ -317,16 +390,37 @@ class ClusterEngine:
 
         Returns ``(per_replica_requests, assignments)``; each replica list
         stays arrival-sorted (routing walks the global arrival order).
+        With a ``health_schedule``, the pass skips replicas that are down
+        at a request's arrival (backpressuring them in the load tracker),
+        and when *every* replica is down it holds the arrival at the
+        front door until the first rejoin — queued, never dropped.
         """
         cfg = self.config
         reqs = assign_rids(requests)
         self.router.reset(cfg.dp, cfg.router_seed)
         tracker = LoadTracker(cfg.dp, self._nominal_service_rate())
+        schedule = self.health_schedule
         per_replica: List[list] = [[] for _ in range(cfg.dp)]
         assignments: List[int] = []
+        held = 0
         for r in reqs:
+            healthy = None
+            if schedule is not None:
+                healthy = schedule.mask(r.arrival)
+                if not any(healthy):
+                    # All replicas down: hold the request until the first
+                    # one rejoins (rid unchanged, so tokens are unchanged).
+                    t_rejoin, who = schedule.next_recovery(r.arrival)
+                    if who is not None:
+                        r = clamp_arrival(r, t_rejoin)
+                        healthy = schedule.mask(r.arrival)
+                        held += 1
+                for j in range(cfg.dp):
+                    tracker.set_pressure(
+                        j, 0.0 if healthy[j] else DEFAULT_UNHEALTHY_PRESSURE
+                    )
             tracker.observe(r.arrival)
-            choice = int(self.router.choose(r, r.arrival, tracker.loads()))
+            choice = int(self.router.route(r, r.arrival, tracker.loads(), healthy))
             if not 0 <= choice < cfg.dp:
                 raise ValueError(
                     f"router {self.router.name!r} chose replica {choice} "
@@ -335,7 +429,25 @@ class ClusterEngine:
             per_replica[choice].append(r)
             assignments.append(choice)
             tracker.assign(choice, r.prompt_len + r.output_len * r.n)
+        self._held_requests = held
+        if held:
+            # Clamped arrivals can land past later requests routed to the
+            # same replica; engines expect arrival-sorted input.
+            for lst in per_replica:
+                lst.sort(key=lambda q: q.arrival)
         return per_replica, assignments
+
+    def _resolve_failures(self) -> Dict[int, List[ReplicaFailure]]:
+        """Scripted failures plus seeded-random draws from the fault
+        plan's ``replica`` site (one draw per replica per run)."""
+        failures = {r: list(fs) for r, fs in self.replica_failures.items()}
+        plan = self.fault_plan
+        if plan is not None and plan.armed("replica"):
+            for r in range(self.config.dp):
+                if plan.fire("replica") and r not in failures:
+                    step = 1 + plan.choose("replica", 12)
+                    failures[r] = [ReplicaFailure(step, "crash", "boundary")]
+        return failures
 
     def run(self, requests) -> ClusterMetrics:
         """Serve the workload across the cluster; returns cluster metrics."""
@@ -347,14 +459,47 @@ class ClusterEngine:
 
         cfg = self.config
         per_replica, assignments = self.route(requests)
+        failures = self._resolve_failures()
+        controller = None
+        if cfg.failover is not None:
+            controller = FailoverController(
+                cfg.failover, self.topology, cfg.dp,
+                fault_plan=self.fault_plan, tracers=self.tracers,
+            )
+            for r, fs in failures.items():
+                if len(fs) > 1:
+                    raise ValueError(
+                        f"replica {r}: failover supports one failure per "
+                        f"replica per run (got {len(fs)})"
+                    )
+        else:
+            for r, fs in failures.items():
+                for f in fs:
+                    if f.mode == "drain":
+                        raise ValueError(
+                            f"replica {r}: drain requires ClusterConfig."
+                            f"failover (a drain is a KV handoff)"
+                        )
         replica_metrics = []
         crash_reports: Optional[List[object]] = (
-            [None] * cfg.dp if self.replica_crashes else None
+            [None] * cfg.dp if failures and controller is None else None
         )
+        # Token work routed to each replica — the controller's load
+        # signal for picking migration targets.
+        assigned_tokens = [
+            float(sum(r.prompt_len + r.output_len * r.n for r in lst))
+            for lst in per_replica
+        ]
+        failing = frozenset(failures)
         for i in range(cfg.dp):
             tracer = self.tracers[i] if self.tracers is not None else None
-            script = self.replica_crashes.get(i)
-            if script:
+            script = failures.get(i)
+            if script and controller is not None:
+                metrics = self._run_with_failover(
+                    i, per_replica, script[0], controller, assigned_tokens,
+                    failing,
+                )
+            elif script:
                 store = CheckpointStore()
                 every = cfg.checkpoint_every if cfg.checkpoint_every > 0 else 4
                 ckpt = CheckpointConfig(every_steps=every)
@@ -363,7 +508,8 @@ class ClusterEngine:
                     return self._make_engine(i, tracer, ckpt, store)
 
                 report = CrashHarness(
-                    factory, per_replica[i], store, crash_script=script
+                    factory, per_replica[i], store,
+                    crash_script=[(f.step, f.phase) for f in script],
                 ).run()
                 crash_reports[i] = report
                 metrics = report.metrics
@@ -373,14 +519,101 @@ class ClusterEngine:
                     ckpt = CheckpointConfig(every_steps=cfg.checkpoint_every)
                     store = CheckpointStore()
                 engine = self._make_engine(i, tracer, ckpt, store)
+                if controller is not None:
+                    engine.track_pressure = True
                 metrics = engine.run(per_replica[i])
             replica_metrics.append(metrics)
+        failover_report = None
+        if controller is not None:
+            controller.report.held_requests = self._held_requests
+            controller.report.admission_pressure = [
+                m.admission_pressure for m in replica_metrics
+            ]
+            failover_report = controller.finish()
         return ClusterMetrics(
             tp=cfg.tp, dp=cfg.dp, router=self.router.name,
             topology=self.topology, replicas=replica_metrics,
             replica_requests=per_replica, assignments=assignments,
-            crash_reports=crash_reports,
+            crash_reports=crash_reports, failover=failover_report,
+            held_requests=self._held_requests,
         )
+
+    def _run_with_failover(
+        self,
+        i: int,
+        per_replica: List[list],
+        failure: ReplicaFailure,
+        controller: FailoverController,
+        assigned_tokens: List[float],
+        failing: frozenset,
+    ):
+        """One replica through the full failover pipeline.
+
+        The replica runs under a checkpoint cadence with a scripted
+        failure; its heartbeat trail feeds the detector (back-dated, so
+        detection timestamps are polling-independent); its latest
+        snapshot is recovered, migrated to the least-loaded healthy host
+        (chunked + checksummed + priced on the topology), and resumed
+        there token-exactly.  No healthy target, or migration retries
+        exhausted → in-place fallback through the same recovery path.
+        """
+        from repro.kvcache.paged import PagedKVCache
+        from repro.serving.checkpoint import (
+            CheckpointConfig,
+            CheckpointStore,
+            EngineCrash,
+            RecoveryManager,
+        )
+
+        cfg = self.config
+        tracer = self.tracers[i] if self.tracers is not None else None
+        store = CheckpointStore()
+        every = cfg.checkpoint_every if cfg.checkpoint_every > 0 else 4
+        ckpt = CheckpointConfig(every_steps=every)
+        engine = self._make_engine(i, tracer, ckpt, store)
+        engine.track_pressure = True
+        heartbeats: List[float] = []
+        engine.heartbeat = heartbeats.append
+        engine._crash_script = {(failure.step, failure.phase)}
+        try:
+            return engine.run(per_replica[i])
+        except EngineCrash as crash:
+            t_fail = crash.t
+
+        t_dead = controller.observe_failure(i, heartbeats, t_fail, failure.mode)
+        recovered = RecoveryManager(store, requests=per_replica[i]).recover()
+        host = i
+        resume_at = t_dead + controller.config.rejoin_delay
+        target = controller.pick_target(i, assigned_tokens, exclude=failing)
+        if target is None:
+            controller.note_fallback(i, t_dead, "no healthy migration target")
+        else:
+            try:
+                snap, mreport = controller.migrate(
+                    recovered.snapshot, t_dead, source=i, target=target
+                )
+            except MigrationError as exc:
+                controller.note_fallback(i, t_dead, str(exc))
+            else:
+                cache = PagedKVCache.from_state(snap["cache"])
+                recovered = dataclasses.replace(
+                    recovered, snapshot=snap, cache=cache,
+                    corrupt_pages=cache.find_corrupted(),
+                )
+                host = target
+                resume_at = mreport.t_end
+        resume_at = max(resume_at, float(recovered.snapshot["t"]))
+        # The takeover engine carries the dead replica's dp_rank (the
+        # snapshot's world check) and its tracer — the resume gap and
+        # migration events render on replica i's trace row.
+        takeover = self._make_engine(i, tracer, ckpt, store)
+        takeover.track_pressure = True
+        metrics = takeover.resume(recovered, tracer=tracer, at_time=resume_at)
+        controller.note_recovery(
+            i, host, t_fail, t_dead, resume_at,
+            inflight_units(recovered.snapshot),
+        )
+        return metrics
 
     def run_reference(self, requests):
         """The single-GPU token oracle: tp=1, dp=1, same rids, no topology.

@@ -27,7 +27,7 @@ reproducible end to end.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Type
 
 import numpy as np
 
@@ -63,6 +63,10 @@ class LoadTracker:
         self.service_rate = service_rate
         self.outstanding = [0.0] * num_replicas
         self.assigned_requests = [0] * num_replicas
+        #: Backpressure in seconds of synthetic backlog per replica (the
+        #: failover layer charges unhealthy/overloaded replicas here);
+        #: folded into :meth:`loads` as ``pressure × service_rate`` tokens.
+        self.pressure = [0.0] * num_replicas
         self._t = 0.0
 
     def observe(self, t: float) -> None:
@@ -77,7 +81,16 @@ class LoadTracker:
         self.outstanding[replica] += tokens
         self.assigned_requests[replica] += 1
 
+    def set_pressure(self, replica: int, seconds: float) -> None:
+        """Charge (or clear, with 0) a backpressure signal on a replica."""
+        self.pressure[replica] = max(0.0, float(seconds))
+
     def loads(self) -> List[float]:
+        if any(self.pressure):
+            return [
+                x + p * self.service_rate
+                for x, p in zip(self.outstanding, self.pressure)
+            ]
         return list(self.outstanding)
 
 
@@ -87,6 +100,12 @@ class RoutingPolicy:
     ``reset`` is called once per cluster run with the replica count and a
     seed; ``choose`` once per request in arrival order.  ``loads`` is the
     tracker's current outstanding-work estimate per replica.
+
+    The cluster calls :meth:`route`, which wraps ``choose`` with health
+    awareness: when a ``healthy`` mask is supplied and the chosen replica
+    is down, :meth:`rebind` picks a live one instead.  Policies that
+    maintain sticky mappings (session affinity) override ``rebind`` to
+    keep the rebinding deterministic per key.
     """
 
     #: Registry key; subclasses must override.
@@ -97,6 +116,37 @@ class RoutingPolicy:
 
     def choose(self, req, t: float, loads: Sequence[float]) -> int:
         raise NotImplementedError
+
+    def route(
+        self,
+        req,
+        t: float,
+        loads: Sequence[float],
+        healthy: Optional[Sequence[bool]] = None,
+    ) -> int:
+        """Health-aware choice: ``choose``, rebound off unhealthy replicas."""
+        choice = self.choose(req, t, loads)
+        if healthy is None or not any(healthy):
+            # No health info — or nothing is healthy, in which case the
+            # caller is responsible for holding the request (the cluster
+            # engine queues it until the first replica rejoins).
+            return choice
+        if 0 <= choice < self.num_replicas and healthy[choice]:
+            return choice
+        return self.rebind(req, t, loads, healthy, choice)
+
+    def rebind(
+        self,
+        req,
+        t: float,
+        loads: Sequence[float],
+        healthy: Sequence[bool],
+        choice: int,
+    ) -> int:
+        """Fallback when ``choice`` is unhealthy: least-loaded healthy
+        replica (ties → lowest index).  Deterministic."""
+        alive = [r for r in range(self.num_replicas) if healthy[r]]
+        return int(min(alive, key=lambda r: (loads[r], r)))
 
 
 class RoundRobinPolicy(RoutingPolicy):
@@ -148,7 +198,13 @@ class SessionAffinityPolicy(RoutingPolicy):
     ``prefix_group`` (a common system prompt) land together, so each
     replica's radix prefix cache sees every reuse of its groups.  Requests
     without a group hash their own id — affinity degrades to a uniform
-    deterministic spread."""
+    deterministic spread.
+
+    When the hashed replica is unhealthy, :meth:`rebind` probes successive
+    salted hashes of the *same key* until a healthy replica turns up —
+    so every request of a session rebinds to the same fallback replica
+    (affinity survives the failover), and the session snaps back to its
+    home replica once it rejoins."""
 
     name = "session-affinity"
 
@@ -157,11 +213,24 @@ class SessionAffinityPolicy(RoutingPolicy):
         # Knuth multiplicative hash: spreads small consecutive ids.
         return (int(key) * 2654435761) & 0xFFFFFFFF
 
-    def choose(self, req, t, loads) -> int:
+    def _key(self, req) -> int:
         key = req.prefix_group
         if key is None:
             key = req.rid if getattr(req, "rid", None) is not None else 0
-        return self._hash(key) % self.num_replicas
+        return int(key)
+
+    def choose(self, req, t, loads) -> int:
+        return self._hash(self._key(req)) % self.num_replicas
+
+    def rebind(self, req, t, loads, healthy, choice) -> int:
+        # Deterministic probe sequence per session key: the first healthy
+        # replica among hash(key + i*salt) is the session's fallback home.
+        key = self._key(req)
+        for i in range(1, 4 * self.num_replicas + 1):
+            candidate = self._hash(key + i * 0x9E3779B9) % self.num_replicas
+            if healthy[candidate]:
+                return candidate
+        return super().rebind(req, t, loads, healthy, choice)
 
 
 class CacheAwarePolicy(RoutingPolicy):

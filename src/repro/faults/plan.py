@@ -22,8 +22,8 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 import numpy as np
 
 #: Injection sites in a fixed order (the order keys the per-site RNGs).
-#: ``crash`` was appended after the first five, so pre-existing seeds keep
-#: their site streams bit-for-bit.
+#: New sites are only ever APPENDED (``crash``, then ``replica``/``link``),
+#: so pre-existing seeds keep their site streams bit-for-bit.
 FAULT_SITES: Tuple[str, ...] = (
     "kernel",     # transient kernel failure → KernelFault from run_*
     "straggler",  # one CTA's serial+memory streams multiplied
@@ -31,6 +31,8 @@ FAULT_SITES: Tuple[str, ...] = (
     "alloc",      # transient page-allocation failure in PagedKVCache
     "numeric",    # NaN written into a kernel's output tensor
     "crash",      # whole-engine death (EngineCrash) at a step boundary or mid-step
+    "replica",    # cluster-level replica death (failover path); one draw per replica per run
+    "link",       # aborted interconnect transfer during KV migration (retried with backoff)
 )
 
 
@@ -53,7 +55,7 @@ class FaultPlan:
     seed:
         Master seed; all site streams derive from it.
     kernel_fault_rate, straggler_rate, corruption_rate, alloc_fault_rate,
-    numeric_fault_rate, crash_rate:
+    numeric_fault_rate, crash_rate, replica_fail_rate, link_fault_rate:
         Per-consultation firing probability for each site, in ``[0, 1)``.
         (Exactly 1.0 is rejected: an always-failing site would livelock
         bounded-retry recovery.)
@@ -74,6 +76,8 @@ class FaultPlan:
         alloc_fault_rate: float = 0.0,
         numeric_fault_rate: float = 0.0,
         crash_rate: float = 0.0,
+        replica_fail_rate: float = 0.0,
+        link_fault_rate: float = 0.0,
         straggler_factor: float = 8.0,
         schedules: Optional[Mapping[str, Iterable[int]]] = None,
     ):
@@ -84,6 +88,8 @@ class FaultPlan:
             "alloc": alloc_fault_rate,
             "numeric": numeric_fault_rate,
             "crash": crash_rate,
+            "replica": replica_fail_rate,
+            "link": link_fault_rate,
         }
         for name, rate in rates.items():
             if not 0.0 <= rate < 1.0:
@@ -191,6 +197,8 @@ class FaultPlan:
             alloc_fault_rate=rates.get("alloc", 0.0),
             numeric_fault_rate=rates.get("numeric", 0.0),
             crash_rate=rates.get("crash", 0.0),
+            replica_fail_rate=rates.get("replica", 0.0),
+            link_fault_rate=rates.get("link", 0.0),
             straggler_factor=cfg["straggler_factor"],
             schedules=cfg.get("schedules") or None,
         )

@@ -394,6 +394,31 @@ class PagedKVCache:
         """All live (refcount > 0) page ids."""
         return np.nonzero(self._refcount > 0)[0].tolist()
 
+    @property
+    def page_kv_bytes(self) -> int:
+        """Modeled wire size of one page's K+V payload at fp16 — the
+        pricing unit for KV migration (and, later, disaggregated
+        prefill→decode handoff): ``page_size`` slots × heads × head_dim
+        × 2 tensors (K and V) × 2 bytes."""
+        return 2 * 2 * self.page_size * self.num_kv_heads * self.head_dim
+
+    def export_pages(self, pages: Sequence[int]) -> dict:
+        """Partial page-level export: one row per requested page id
+        (refcount + write-versioned checksum pair).  The migration wire
+        format ships live pages in chunks of these rows; the receiver
+        splices them back into a stripped :meth:`export_state` control
+        record before :meth:`from_state`."""
+        idx = [int(p) for p in pages]
+        for p in idx:
+            if not 0 <= p < self.num_pages:
+                raise ValueError(f"page {p} outside [0, {self.num_pages})")
+        return {
+            "pages": idx,
+            "refcount": [int(self._refcount[p]) for p in idx],
+            "version": [int(self._page_version[p]) for p in idx],
+            "stamp": [int(self._page_stamp[p]) for p in idx],
+        }
+
     def _verify_pages(self, pages: Sequence[int], context: str) -> None:
         if not pages:
             return

@@ -46,6 +46,13 @@ class AdmissionController:
             st.waiting.popleft()
             if eng._journal is not None:
                 eng._journal.admit(idx, t)
+        if eng.track_pressure:
+            # Overload backpressure signal for the cluster router: peak
+            # saturation of the concurrency gate (admitted + running over
+            # max_running).  >= 1.0 means arrivals are queueing at the door.
+            sat = (len(st.streams) + len(st.prefill_queue)) / cfg.max_running
+            if sat > st.metrics.admission_pressure:
+                st.metrics.admission_pressure = sat
 
     def fits(self, tokens: int) -> bool:
         """Admission control: keep one page of decode headroom per live

@@ -193,6 +193,14 @@ class ServingEngine:
         if resilience is None and (fault_plan is not None or checkpoint is not None):
             resilience = ResilienceConfig()
         self.resilience = resilience
+        #: Optional per-step liveness callback ``heartbeat(t)``, installed
+        #: by the cluster failover layer; fired after each executed step.
+        #: ``None`` (the default) keeps the step loop untouched.
+        self.heartbeat = None
+        #: Record peak admission saturation into the run's metrics (set by
+        #: the cluster engine on failover runs; plain runs skip the write
+        #: so their summaries stay byte-identical).
+        self.track_pressure = False
         self._tracer: Optional[StepTracer] = None
         self._event_index = 0
         self._steps_done = 0
@@ -462,7 +470,10 @@ class ServingEngine:
         return self._serve(state, admission, t=0.0, pc_before=pc_before)
 
     def resume(
-        self, recovered: RecoveredState, tracer: Optional[StepTracer] = None
+        self,
+        recovered: RecoveredState,
+        tracer: Optional[StepTracer] = None,
+        at_time: Optional[float] = None,
     ) -> ServingMetrics:
         """Continue a crashed run from a recovered snapshot, token-exactly.
 
@@ -474,6 +485,12 @@ class ServingEngine:
         the crash being recovered from does not re-fire.  The journal's
         lost window rides along as a replay guard verifying every
         re-emitted token against what was journaled before the crash.
+
+        ``at_time`` resumes no earlier than the given simulated time (the
+        cluster failover path: detection delay plus KV migration happened
+        between the snapshot and the takeover).  Later timing changes
+        batching, never tokens — token ids are a pure function of
+        ``(request, generation, position)``.
         """
         if self.resilience is None:
             raise ValueError(
@@ -539,6 +556,8 @@ class ServingEngine:
             int(k): int(v) for k, v in snap["prefill_retries"].items()
         }
         t = float(snap["t"])
+        if at_time is not None:
+            t = max(t, float(at_time))
         self._count("recover_events")
         self._fault_event(
             "recover", "restored", t,
@@ -628,6 +647,8 @@ class ServingEngine:
                     self._maybe_crash(t, "mid-step")
                 post.finalize(step, t0, t, attn)
                 self._steps_done += 1
+                if self.heartbeat is not None:
+                    self.heartbeat(t)
             if self._degrade is not None:
                 if resil.step_budget is not None and (t - t_before) > resil.step_budget:
                     self._count("watchdog_flags")

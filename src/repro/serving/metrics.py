@@ -118,6 +118,11 @@ class ServingMetrics:
     #: ``cascade_hbm_bytes_saved``, …); attached by the engine at end of run
     #: when ``EngineConfig.prefix_cache`` is on.
     prefix_stats: Optional[Dict[str, float]] = None
+    #: Peak admission saturation ((admitted + running) / max_running) —
+    #: the overload-backpressure signal cluster failover feeds back into
+    #: routing.  Written only when ``engine.track_pressure`` is set, so
+    #: plain-run summaries stay byte-identical.
+    admission_pressure: float = 0.0
 
     def add(self, trace: RequestTrace) -> None:
         self.traces.append(trace)
@@ -178,6 +183,8 @@ class ServingMetrics:
             out.update(self.plan_cache_stats)
         if self.prefix_stats is not None:
             out.update(self.prefix_stats)
+        if self.admission_pressure:
+            out["admission_pressure"] = float(self.admission_pressure)
         if self.fault_stats is not None:
             out.update(self.fault_stats)
             # Per-request shed records: which stream was shed, and when.
@@ -210,6 +217,9 @@ class ServingMetrics:
             merged.radix_hit_prompts += p.radix_hit_prompts
             merged.cascade_steps += p.cascade_steps
             merged.cascade_bytes_saved += p.cascade_bytes_saved
+            merged.admission_pressure = max(
+                merged.admission_pressure, p.admission_pressure
+            )
             merged.total_time = max(merged.total_time, p.total_time)
         return merged
 
@@ -230,6 +240,7 @@ class ServingMetrics:
             "radix_hit_prompts": self.radix_hit_prompts,
             "cascade_steps": self.cascade_steps,
             "cascade_bytes_saved": self.cascade_bytes_saved,
+            "admission_pressure": self.admission_pressure,
         }
 
     @classmethod
@@ -246,4 +257,5 @@ class ServingMetrics:
         m.radix_hit_prompts = int(state.get("radix_hit_prompts", 0))
         m.cascade_steps = int(state.get("cascade_steps", 0))
         m.cascade_bytes_saved = float(state.get("cascade_bytes_saved", 0.0))
+        m.admission_pressure = float(state.get("admission_pressure", 0.0))
         return m

@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro.cluster import ClusterConfig, ClusterEngine, expected_tokens
+from repro.cluster import (
+    ClusterConfig,
+    ClusterEngine,
+    ReplicaFailure,
+    expected_tokens,
+)
 from repro.core import HeadConfig
 from repro.gpu import H100_80G
 from repro.serving import (
@@ -75,7 +80,8 @@ def test_replica_crash_recovers_token_exact():
         ClusterConfig(dp=2, router="round-robin",
                       engine=EngineConfig(max_running=64),
                       checkpoint_every=3),
-        replica_crashes={0: [(3, "boundary"), (7, "mid-step")]},
+        replica_failures={0: [ReplicaFailure(3, "crash", "boundary"),
+                              ReplicaFailure(7, "crash", "mid-step")]},
     )
     reference = cluster.run_reference(requests)
     cm = cluster.run(requests)
@@ -89,6 +95,30 @@ def test_replica_crash_recovers_token_exact():
     s = cm.summary()
     assert s["cluster_crashes"] == 2.0
     assert s["cluster_recoveries"] == 2.0
+
+
+def test_replica_crashes_alias_is_deprecated_but_equivalent():
+    requests = sharegpt_workload(8, rate=120.0, seed=6)
+    cfg = ClusterConfig(dp=2, router="round-robin",
+                        engine=EngineConfig(max_running=64),
+                        checkpoint_every=3)
+    with pytest.deprecated_call():
+        legacy = ClusterEngine(
+            MODEL, H100_80G, cfg,
+            replica_crashes={0: [(3, "boundary")]},
+        )
+    assert legacy.replica_failures == {0: [ReplicaFailure(3, "crash", "boundary")]}
+    modern = ClusterEngine(
+        MODEL, H100_80G, cfg,
+        replica_failures={0: ReplicaFailure(3, "crash", "boundary")},
+    )
+    legacy_tokens = [
+        t.tokens for m in legacy.run(requests).replicas for t in m.traces
+    ]
+    modern_tokens = [
+        t.tokens for m in modern.run(requests).replicas for t in m.traces
+    ]
+    assert legacy_tokens == modern_tokens
 
 
 def test_snapshots_carry_the_world_shape():

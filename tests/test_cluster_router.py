@@ -87,6 +87,62 @@ def test_session_affinity_groups_land_together():
     assert a == b
 
 
+def test_session_affinity_rebinds_off_unhealthy_replicas():
+    # Regression: the hashed home replica being down must not keep
+    # receiving the session's requests — rebind deterministically, to the
+    # same fallback for every request of the session, and snap back home
+    # once the replica rejoins.
+    p = SessionAffinityPolicy()
+    p.reset(4)
+    req = _req(prefix_group=7, prefix_len=16)
+    home = p.choose(req, 0.0, [0.0] * 4)
+    healthy = [True] * 4
+    healthy[home] = False
+    rebound = {p.route(req, 0.0, [0.0] * 4, healthy) for _ in range(5)}
+    assert len(rebound) == 1
+    fallback = rebound.pop()
+    assert fallback != home and healthy[fallback]
+    # Healthy home: route is just choose.
+    assert p.route(req, 0.0, [0.0] * 4, [True] * 4) == home
+    # Another session whose home is also down keeps its own fallback
+    # stream (the probe is salted by session key, not shared state).
+    other = next(
+        g for g in range(8, 64)
+        if p.choose(_req(prefix_group=g, prefix_len=16), 0.0, [0.0] * 4) == home
+    )
+    other_req = _req(prefix_group=other, prefix_len=16)
+    assert p.route(other_req, 0.0, [0.0] * 4, healthy) == p.route(
+        other_req, 0.0, [0.0] * 4, healthy
+    )
+    # Nothing healthy: route returns the raw choice — the cluster engine
+    # is responsible for holding the request at the front door.
+    assert p.route(req, 0.0, [0.0] * 4, [False] * 4) == home
+
+
+def test_base_rebind_picks_least_loaded_healthy():
+    p = RoundRobinPolicy()
+    p.reset(3)
+    # First round-robin choice is replica 0; it is down, and replica 2 is
+    # the least-loaded healthy one.
+    assert p.route(_req(), 0.0, [1.0, 5.0, 2.0], [False, True, True]) == 2
+    # Ties break to the lowest index.
+    assert p.route(_req(), 0.0, [9.0, 3.0, 3.0], [False, True, True]) == 1
+
+
+def test_load_tracker_pressure_backpressures_loads():
+    lt = LoadTracker(2, service_rate=100.0)
+    lt.assign(0, 50.0)
+    # No pressure: loads() is exactly the outstanding work (bit-identical
+    # to the pre-failover tracker).
+    assert lt.loads() == [50.0, 0.0]
+    lt.set_pressure(1, 2.0)  # 2 s of synthetic backlog = 200 tokens
+    assert lt.loads() == [50.0, 200.0]
+    lt.set_pressure(1, 0.0)
+    assert lt.loads() == [50.0, 0.0]
+    lt.set_pressure(0, -5.0)  # clamped
+    assert lt.loads() == [50.0, 0.0]
+
+
 def test_registry_contract():
     names = available_routing_policies()
     assert names[:5] == ("cache-aware", "least-loaded", "power-of-two",
