@@ -97,6 +97,8 @@ def _cmd_serve(args) -> int:
         return _serve_recover(args, model, heads)
     if args.prefix_cache:
         return _serve_prefix(args, model)
+    if args.overload:
+        return _serve_overload(args, model)
     if args.tp > 1 or args.dp > 1 or args.fail_replica is not None:
         return _serve_cluster(args, model)
     requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
@@ -267,6 +269,108 @@ def _serve_cluster(args, model) -> int:
         )
         print(f"  cluster trace → {args.trace} "
               f"({args.dp} replica process rows, shared simulated clock)")
+    return 0 if divergent == 0 else 1
+
+
+def _serve_overload(args, model) -> int:
+    """The ``serve --overload`` pass: drive a bursty multi-tenant workload
+    at a multiple of cluster capacity through the overload-hardened front
+    door (per-tenant token buckets + client retries), per-replica circuit
+    breakers, hedged prefill and the SLO-driven brownout ladder — then run
+    the *same trace* without the overload layer and report the SLO
+    attainment delta.  Accepted streams are verified token-exact against
+    an uncontended single-GPU reference (brownout-clamped streams must be
+    exact prefixes)."""
+    from repro.cluster import ClusterConfig, ClusterEngine, expected_tokens
+    from repro.cluster.router import BreakerConfig
+    from repro.faults import FaultPlan
+    from repro.gpu import H100_80G
+    from repro.serving import EngineConfig, bursty_workload
+    from repro.serving.overload import (
+        OverloadConfig,
+        overload_token_divergence,
+        slo_attainment,
+    )
+
+    dp = max(args.dp, 2)
+    requests = bursty_workload(
+        args.requests, args.rate, seed=args.seed, tenants=args.tenants,
+        burst=args.burst, burst_len=0.25, burst_every=0.6,
+    )
+    offered = len(requests)
+    span = requests[-1].arrival if requests else 0.0
+    engine_cfg = EngineConfig(
+        max_running=16, chunked_prefill=True, composable=True,
+        prefill_chunk_size=256, policy=args.policy,
+    )
+    overload = OverloadConfig(
+        tenants=args.tenants, admit_rate=24.0, burst_capacity=8.0,
+        max_client_retries=5, retry_budget=2.0, retry_base=0.08,
+        seed=args.seed, slo_ttft=0.4, engage_after=25, anneal_after=60,
+        brownout_clamp=32,
+        breaker=BreakerConfig(fail_threshold=3, cooldown=0.25,
+                              probe_successes=2, pressure_threshold=0.5),
+    )
+    print(
+        f"{offered} bursty requests ({args.tenants} tenants, {args.burst:g}x "
+        f"bursts) in {span:.2f} s, {model.name} on a dp={dp} H100 cluster "
+        f"({args.router} router, overload front door armed)"
+    )
+
+    cluster = ClusterEngine(
+        model, H100_80G,
+        ClusterConfig(dp=dp, topology=args.topology, router=args.router,
+                      engine=engine_cfg, overload=overload),
+        fault_plan=FaultPlan(seed=args.seed, timeout_rate=0.08),
+    )
+    reference = cluster.run_reference(requests)
+    cm = cluster.run(requests)
+    s = cm.summary()
+
+    # Same trace, no overload layer: the control arm for the SLO delta.
+    baseline = ClusterEngine(
+        model, H100_80G,
+        ClusterConfig(dp=dp, topology=args.topology, router=args.router,
+                      engine=engine_cfg),
+    ).run(requests)
+    base_met, base_frac = slo_attainment(baseline, offered, overload.slo_ttft)
+
+    print(
+        f"  front door: overload_offered={int(s['overload_offered'])} "
+        f"overload_admitted={int(s['overload_admitted'])} "
+        f"overload_rejected={int(s['overload_rejected'])} "
+        f"overload_retries={int(s['overload_retries'])} "
+        f"overload_dropped={int(s['overload_dropped'])}"
+    )
+    print(
+        f"  breakers  : breaker_open_total={int(s['breaker_open_total'])} "
+        f"breaker_half_open_total={int(s['breaker_half_open_total'])} "
+        f"breaker_close_total={int(s['breaker_close_total'])} "
+        f"(timeouts={int(s['overload_timeouts'])}, "
+        f"reroutes={int(s['overload_reroutes'])})"
+    )
+    print(
+        f"  brownout  : brownout_engaged={int(s['brownout_engaged'])} "
+        f"brownout_annealed={int(s['brownout_annealed'])} "
+        f"peak_level={int(s['brownout_peak_level'])} "
+        f"final_level={int(s['brownout_final_level'])}"
+    )
+    print(
+        f"  hedging   : hedged_prefills={int(s['hedged_prefills'])} "
+        f"hedge_wins={int(s['hedge_wins'])}"
+    )
+    print(
+        f"  slo_attainment={s['slo_attainment']:.3f} "
+        f"(baseline {base_frac:.3f} without the overload layer, "
+        f"TTFT <= {overload.slo_ttft:g} s, drops count as misses)"
+    )
+    divergent, compared = overload_token_divergence(
+        cm, expected_tokens(reference)
+    )
+    print(
+        f"  token_divergence={divergent} "
+        f"({compared} accepted streams compared vs uncontended reference)"
+    )
     return 0 if divergent == 0 else 1
 
 
@@ -717,6 +821,26 @@ def main(argv=None) -> int:
         metavar="P",
         help="additionally arm seeded-random engine death at probability P "
         "per step phase (requires --crash for the kill/restore harness)",
+    )
+    serve.add_argument(
+        "--overload", action="store_true",
+        help="overload drill: drive a bursty multi-tenant workload at a "
+        "multiple of cluster capacity through the tenant-aware front door, "
+        "circuit breakers, hedged prefill and the SLO-driven brownout "
+        "ladder (dp >= 2; accepted streams stay token-exact vs an "
+        "uncontended reference, and the run reports the SLO attainment "
+        "delta vs the same trace without the overload layer)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=4,
+        help="tenant count for --overload: per-tenant token buckets at the "
+        "front door, weighted-fair admission (default: 4)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=3.0,
+        help="burst multiplier for --overload's arrival process: seeded "
+        "Poisson bursts at this multiple of the diurnal base rate "
+        "(default: 3.0)",
     )
     serve.add_argument(
         "--fail-replica", default=None, dest="fail_replica",

@@ -42,7 +42,12 @@ from repro.cluster.collectives import (
     reduce_scatter,
 )
 from repro.cluster.router import (
+    BREAKER_STATES,
+    BreakerConfig,
+    BreakerTransition,
     CacheAwarePolicy,
+    CircuitBreaker,
+    IllegalBreakerTransition,
     LeastLoadedPolicy,
     LoadTracker,
     PowerOfTwoPolicy,
@@ -111,6 +116,11 @@ __all__ = [
     "all_reduce_states",
     "p2p_send",
     "reduce_scatter",
+    "BREAKER_STATES",
+    "BreakerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "IllegalBreakerTransition",
     "LoadTracker",
     "RoutingPolicy",
     "RoundRobinPolicy",

@@ -44,7 +44,14 @@ from repro.cluster.failover import (
     inflight_units,
     DEFAULT_UNHEALTHY_PRESSURE,
 )
-from repro.cluster.router import LoadTracker, get_routing_policy
+import numpy as np
+
+from repro.cluster.router import (
+    BreakerConfig,
+    CircuitBreaker,
+    LoadTracker,
+    get_routing_policy,
+)
 from repro.cluster.topology import Topology
 from repro.cluster.tp import TPInterconnect, plan_tp_sharding
 
@@ -108,6 +115,12 @@ class ClusterConfig:
     #: replica crashes then recover in place via the PR-4 harness and the
     #: run is bit-identical to the pre-failover engine.
     failover: Optional[FailoverConfig] = None
+    #: Overload front-door policy
+    #: (:class:`repro.serving.overload.OverloadConfig`).  ``None`` (the
+    #: default) disables the whole overload layer — no admission gate, no
+    #: client retries, no breakers, no hedging, no brownout — and the run
+    #: is bit-identical to the pre-overload engine.
+    overload: Optional[object] = None
 
 
 @dataclass
@@ -133,6 +146,10 @@ class ClusterMetrics:
     #: Arrivals held at the front door because every replica was
     #: unhealthy (queued until the first rejoin, never dropped).
     held_requests: int = 0
+    #: :class:`~repro.serving.overload.OverloadReport` when the run had
+    #: the overload layer configured; ``None`` otherwise (summaries
+    #: unchanged).
+    overload: Optional[object] = None
 
     @property
     def merged(self):
@@ -231,6 +248,9 @@ class ClusterMetrics:
             out.update(self.failover.summary())
             for i, p in enumerate(self.failover.admission_pressure):
                 out[f"replica{i}_admission_pressure"] = float(p)
+        if self.overload is not None:
+            # Front-door/breaker/brownout/SLO counters, only on overload runs.
+            out.update(self.overload.summary())
         out.update(self.topology.link_stats(makespan=makespan))
         return out
 
@@ -294,6 +314,12 @@ class ClusterEngine:
 
             backend_factory = FlashInferBackend
         self.backend_factory = backend_factory
+        if replica_failures is not None and replica_crashes is not None:
+            raise ValueError(
+                "pass either replica_failures= or the deprecated "
+                "replica_crashes=, not both (their scripts would merge "
+                "silently)"
+            )
         #: Normalized ``{replica: [ReplicaFailure, ...]}``.
         self.replica_failures: Dict[int, List[ReplicaFailure]] = {}
         for r, fs in (replica_failures or {}).items():
@@ -318,6 +344,11 @@ class ClusterEngine:
         #: routing pass consults.
         self.health_schedule = health_schedule
         self._held_requests = 0
+        # Overload-layer state, populated by route()/run() when
+        # ``config.overload`` is set; None/empty otherwise.
+        self._overload_report = None
+        self._breakers: Optional[List[CircuitBreaker]] = None
+        self._brownouts: Dict[int, object] = {}
         self.tracers = None
         if trace:
             from repro.obs.tracer import StepTracer
@@ -381,6 +412,14 @@ class ClusterEngine:
         )
         engine.dp_world = self.config.dp
         engine.dp_rank = replica
+        if self.config.overload is not None:
+            from repro.serving.overload import BrownoutController
+
+            engine.track_pressure = True
+            engine.brownout = BrownoutController.from_config(self.config.overload)
+            # Last engine built for a replica owns its brownout stats (a
+            # failover takeover replaces the dead replica's controller).
+            self._brownouts[replica] = engine.brownout
         return engine
 
     # -- the cluster run -------------------------------------------------------
@@ -394,15 +433,44 @@ class ClusterEngine:
         at a request's arrival (backpressuring them in the load tracker),
         and when *every* replica is down it holds the arrival at the
         front door until the first rejoin — queued, never dropped.
+
+        With :attr:`ClusterConfig.overload` set, the workload first passes
+        the tenant-aware :class:`~repro.serving.overload.FrontDoor`
+        (rate-limit + seeded client retries), per-replica
+        :class:`~repro.cluster.router.CircuitBreaker` masks fold into the
+        health mask, seeded dispatch timeouts strike breakers and
+        re-dispatch, and slow dispatches hedge onto a second replica —
+        every re-arrival via ``clamp_arrival`` (rid unchanged, so tokens
+        are unchanged by construction).
         """
         cfg = self.config
         reqs = assign_rids(requests)
+        overload = cfg.overload
+        report = None
+        breakers = None
+        if overload is not None:
+            from repro.serving.overload import FrontDoor
+
+            reqs, report = FrontDoor(overload).admit(reqs)
+            bcfg = (
+                overload.breaker if overload.breaker is not None
+                else BreakerConfig()
+            )
+            breakers = [CircuitBreaker(j, bcfg) for j in range(cfg.dp)]
+            self._brownouts = {}
+        self._overload_report = report
+        self._breakers = breakers
         self.router.reset(cfg.dp, cfg.router_seed)
         tracker = LoadTracker(cfg.dp, self._nominal_service_rate())
         schedule = self.health_schedule
+        plan = self.fault_plan
+        timeout_armed = (
+            breakers is not None and plan is not None and plan.armed("timeout")
+        )
         per_replica: List[list] = [[] for _ in range(cfg.dp)]
         assignments: List[int] = []
         held = 0
+        waits: List[float] = []  # estimated dispatch waits (hedge history)
         for r in reqs:
             healthy = None
             if schedule is not None:
@@ -415,27 +483,111 @@ class ClusterEngine:
                         r = clamp_arrival(r, t_rejoin)
                         healthy = schedule.mask(r.arrival)
                         held += 1
+            if breakers is not None:
+                allow = [b.allow(r.arrival) for b in breakers]
+                if healthy is not None:
+                    allow = [h and a for h, a in zip(healthy, allow)]
+                if any(allow):
+                    healthy = allow
+                # else: every breaker open too — keep the schedule mask
+                # (possibly None) so the request is still placed; a breaker
+                # never drops work, it only steers it.
+            if healthy is not None:
                 for j in range(cfg.dp):
                     tracker.set_pressure(
                         j, 0.0 if healthy[j] else DEFAULT_UNHEALTHY_PRESSURE
                     )
             tracker.observe(r.arrival)
-            choice = int(self.router.route(r, r.arrival, tracker.loads(), healthy))
+            loads = tracker.loads()
+            choice = int(self.router.route(r, r.arrival, loads, healthy))
             if not 0 <= choice < cfg.dp:
                 raise ValueError(
                     f"router {self.router.name!r} chose replica {choice} "
                     f"outside [0, {cfg.dp})"
                 )
+            if breakers is not None:
+                r, choice = self._overload_dispatch(
+                    r, choice, healthy, breakers, loads,
+                    tracker.service_rate, waits, report, timeout_armed,
+                )
             per_replica[choice].append(r)
             assignments.append(choice)
             tracker.assign(choice, r.prompt_len + r.output_len * r.n)
         self._held_requests = held
-        if held:
-            # Clamped arrivals can land past later requests routed to the
-            # same replica; engines expect arrival-sorted input.
+        if held or breakers is not None:
+            # Clamped arrivals (holds, retries, timeouts, hedges) can land
+            # past later requests routed to the same replica; engines
+            # expect arrival-sorted input.
             for lst in per_replica:
                 lst.sort(key=lambda q: q.arrival)
         return per_replica, assignments
+
+    def _overload_dispatch(
+        self, r, choice, mask, breakers, loads, service_rate, waits,
+        report, timeout_armed,
+    ):
+        """Breaker strikes, seeded timeout re-dispatch, and hedged prefill
+        for one routed request; returns the (possibly re-timed) request
+        and its final replica.  Deterministic, and token-exact by
+        construction: only arrivals shift, never rids."""
+        overload = self.config.overload
+        bcfg = breakers[choice].config
+        dp = self.config.dp
+        t = r.arrival
+
+        def alternates(exclude: int) -> List[int]:
+            return [
+                j for j in range(dp)
+                if j != exclude
+                and (mask is None or mask[j])
+                and breakers[j].state != "open"
+            ]
+
+        # Seeded dispatch timeout: the replica never acked this dispatch.
+        # Strike its breaker and resend to the best alternate after the
+        # client's timeout penalty.
+        timed_out = timeout_armed and self.fault_plan.fire("timeout")
+        if timed_out:
+            report.timeouts += 1
+            breakers[choice].record_failure(t, "timeout")
+            alts = alternates(choice)
+            if alts:
+                t = t + bcfg.timeout_penalty
+                r = clamp_arrival(r, t)
+                choice = min(alts, key=lambda j: (loads[j], j))
+                report.reroutes += 1
+        else:
+            # Pressure signal: estimated backlog ahead of this dispatch.
+            if loads[choice] / service_rate > bcfg.pressure_threshold:
+                breakers[choice].record_failure(t, "pressure")
+            else:
+                breakers[choice].record_success(t)
+        est_wait = loads[choice] / service_rate
+        # Hedged prefill: when the estimated start lags the hedge quantile
+        # of observed waits, issue a duplicate on the best alternate after
+        # the quantile delay and keep whichever copy starts first.  The
+        # loser is cancelled before doing any work (zero cost), so exactly
+        # one replica ever prefills this rid — token-exact either way.
+        if (
+            overload.hedge
+            and len(waits) >= overload.hedge_min_samples
+            and est_wait > 0
+        ):
+            delay = float(np.quantile(waits, overload.hedge_quantile))
+            if est_wait > delay:
+                alts = alternates(choice)
+                if alts:
+                    second = min(alts, key=lambda j: (loads[j], j))
+                    est_second = delay + loads[second] / service_rate
+                    report.hedged += 1
+                    if est_second < est_wait:
+                        # Secondary starts first: it wins; the primary
+                        # copy is cancelled unstarted.
+                        r = clamp_arrival(r, t + delay)
+                        choice = second
+                        report.hedge_wins += 1
+        waits.append(loads[choice] / service_rate)
+        return r, choice
 
     def _resolve_failures(self) -> Dict[int, List[ReplicaFailure]]:
         """Scripted failures plus seeded-random draws from the fault
@@ -530,13 +682,22 @@ class ClusterEngine:
                 m.admission_pressure for m in replica_metrics
             ]
             failover_report = controller.finish()
-        return ClusterMetrics(
+        cm = ClusterMetrics(
             tp=cfg.tp, dp=cfg.dp, router=self.router.name,
             topology=self.topology, replicas=replica_metrics,
             replica_requests=per_replica, assignments=assignments,
             crash_reports=crash_reports, failover=failover_report,
             held_requests=self._held_requests,
+            overload=self._overload_report,
         )
+        if self._overload_report is not None:
+            report = self._overload_report
+            report.attach_breakers(self._breakers or ())
+            report.attach_brownouts(
+                [self._brownouts.get(i) for i in range(cfg.dp)]
+            )
+            report.finalize_slo(cm)
+        return cm
 
     def _run_with_failover(
         self,

@@ -23,16 +23,29 @@ per-step engine internals.
 All randomness (power-of-two-choices probing) comes from a policy-owned
 seeded generator reset at the start of every run, keeping cluster runs
 reproducible end to end.
+
+:class:`CircuitBreaker` is the router-side overload guard: a per-replica
+closed → open → half-open state machine on the simulated clock, tripped
+by seeded dispatch timeouts and sustained backlog pressure, reinstated
+only after successful half-open probes.  The cluster engine folds open
+breakers into the routing health mask (see
+:attr:`repro.cluster.ClusterConfig.overload`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Type
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 __all__ = [
+    "BREAKER_STATES",
+    "BreakerConfig",
+    "BreakerTransition",
     "CacheAwarePolicy",
+    "CircuitBreaker",
+    "IllegalBreakerTransition",
     "LeastLoadedPolicy",
     "LoadTracker",
     "PowerOfTwoPolicy",
@@ -343,3 +356,154 @@ def get_routing_policy(name: str) -> RoutingPolicy:
             f"unknown routing policy {name!r}; available: "
             f"{', '.join(available_routing_policies())}"
         ) from None
+
+
+# -- per-replica circuit breakers (the overload layer's router guard) ---------
+
+#: Breaker states in lifecycle order.
+BREAKER_STATES: Tuple[str, ...] = ("closed", "open", "half-open")
+
+#: Legal breaker edges; anything else raises
+#: :class:`IllegalBreakerTransition` (the same edge-validation idiom as
+#: ``ReplicaHealth.to()`` in :mod:`repro.cluster.failover`).
+_BREAKER_TRANSITIONS: Dict[str, frozenset] = {
+    "closed": frozenset({"open"}),
+    "open": frozenset({"half-open"}),
+    "half-open": frozenset({"open", "closed"}),
+}
+
+
+class IllegalBreakerTransition(ValueError):
+    """A breaker transition outside the legal state machine."""
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One timestamped breaker edge for a replica."""
+
+    t: float
+    replica: int
+    frm: str
+    to: str
+    detail: str = ""
+
+
+@dataclass
+class BreakerConfig:
+    """Per-replica circuit-breaker knobs."""
+
+    #: Failure strikes (dispatch timeouts, sustained pressure) before a
+    #: closed breaker opens.
+    fail_threshold: int = 3
+    #: Seconds an open breaker waits before half-open probing.
+    cooldown: float = 0.25
+    #: Successful half-open probes before the breaker fully closes.
+    probe_successes: int = 2
+    #: Estimated backlog (seconds of queued work at the nominal service
+    #: rate) at/above which a dispatch counts as a pressure strike.
+    pressure_threshold: float = 0.75
+    #: Arrival penalty charged to a request re-dispatched after a seeded
+    #: timeout (the client's perceived timeout plus resend).
+    timeout_penalty: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        if self.cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+        if self.pressure_threshold <= 0:
+            raise ValueError("pressure_threshold must be positive")
+        if self.timeout_penalty < 0:
+            raise ValueError("timeout_penalty must be >= 0")
+
+
+class CircuitBreaker:
+    """Per-replica closed → open → half-open breaker on the simulated clock.
+
+    Strikes (:meth:`record_failure`: seeded dispatch timeouts, estimated
+    backlog beyond ``pressure_threshold``) open the breaker after
+    ``fail_threshold`` in a row; an open breaker refuses traffic for
+    ``cooldown`` seconds, then half-opens and admits probe dispatches; a
+    failed probe re-opens it (re-arming the cooldown), while
+    ``probe_successes`` consecutive clean probes close it again.  All
+    edges go through the validated, timestamped :meth:`to` — illegal
+    transitions raise instead of silently corrupting the lifecycle.
+    """
+
+    def __init__(self, replica: int, config: Optional[BreakerConfig] = None):
+        self.replica = int(replica)
+        self.config = config if config is not None else BreakerConfig()
+        self.state = "closed"
+        self.strikes = 0
+        self.probes_ok = 0
+        self.opened_at: Optional[float] = None
+        self.transitions: List[BreakerTransition] = []
+        self.open_count = 0
+        self.half_open_count = 0
+        self.close_count = 0
+
+    def to(self, state: str, t: float, detail: str = "") -> BreakerTransition:
+        """Validated, timestamped edge (the ``ReplicaHealth.to`` idiom)."""
+        if state not in BREAKER_STATES:
+            raise IllegalBreakerTransition(
+                f"unknown breaker state {state!r}; expected one of {BREAKER_STATES}"
+            )
+        if state not in _BREAKER_TRANSITIONS[self.state]:
+            raise IllegalBreakerTransition(
+                f"replica {self.replica}: illegal breaker transition "
+                f"{self.state} -> {state}"
+            )
+        tr = BreakerTransition(
+            t=float(t), replica=self.replica, frm=self.state, to=state,
+            detail=detail,
+        )
+        self.state = state
+        self.transitions.append(tr)
+        if state == "open":
+            self.open_count += 1
+        elif state == "half-open":
+            self.half_open_count += 1
+        else:
+            self.close_count += 1
+        return tr
+
+    def tick(self, t: float) -> None:
+        """Open → half-open once the cooldown has elapsed."""
+        if (
+            self.state == "open"
+            and self.opened_at is not None
+            and t >= self.opened_at + self.config.cooldown
+        ):
+            self.probes_ok = 0
+            self.to("half-open", t, "cooldown elapsed, probing")
+
+    def allow(self, t: float) -> bool:
+        """May traffic be routed to this replica at time ``t``?
+        (Half-open admits probes; open refuses.)"""
+        self.tick(t)
+        return self.state != "open"
+
+    def record_failure(self, t: float, kind: str = "fault") -> None:
+        if self.state == "half-open":
+            # A failed probe re-opens immediately and re-arms the cooldown.
+            self.opened_at = float(t)
+            self.strikes = 0
+            self.to("open", t, f"probe failed ({kind})")
+        elif self.state == "closed":
+            self.strikes += 1
+            if self.strikes >= self.config.fail_threshold:
+                self.opened_at = float(t)
+                self.to("open", t, f"{self.strikes} strikes ({kind})")
+                self.strikes = 0
+        # An already-open breaker absorbs further failures silently.
+
+    def record_success(self, t: float) -> None:
+        if self.state == "half-open":
+            self.probes_ok += 1
+            if self.probes_ok >= self.config.probe_successes:
+                self.to("closed", t, f"{self.probes_ok} probes succeeded")
+        elif self.state == "closed" and self.strikes > 0:
+            # Leaky strike decay: sporadic failures never accumulate to a trip.
+            self.strikes -= 1

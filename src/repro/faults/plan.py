@@ -22,8 +22,9 @@ from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 import numpy as np
 
 #: Injection sites in a fixed order (the order keys the per-site RNGs).
-#: New sites are only ever APPENDED (``crash``, then ``replica``/``link``),
-#: so pre-existing seeds keep their site streams bit-for-bit.
+#: New sites are only ever APPENDED (``crash``, then ``replica``/``link``,
+#: then ``timeout``), so pre-existing seeds keep their site streams
+#: bit-for-bit.
 FAULT_SITES: Tuple[str, ...] = (
     "kernel",     # transient kernel failure → KernelFault from run_*
     "straggler",  # one CTA's serial+memory streams multiplied
@@ -33,6 +34,7 @@ FAULT_SITES: Tuple[str, ...] = (
     "crash",      # whole-engine death (EngineCrash) at a step boundary or mid-step
     "replica",    # cluster-level replica death (failover path); one draw per replica per run
     "link",       # aborted interconnect transfer during KV migration (retried with backoff)
+    "timeout",    # dispatch timeout at the cluster router (breaker strike + re-dispatch)
 )
 
 
@@ -55,7 +57,8 @@ class FaultPlan:
     seed:
         Master seed; all site streams derive from it.
     kernel_fault_rate, straggler_rate, corruption_rate, alloc_fault_rate,
-    numeric_fault_rate, crash_rate, replica_fail_rate, link_fault_rate:
+    numeric_fault_rate, crash_rate, replica_fail_rate, link_fault_rate,
+    timeout_rate:
         Per-consultation firing probability for each site, in ``[0, 1)``.
         (Exactly 1.0 is rejected: an always-failing site would livelock
         bounded-retry recovery.)
@@ -78,6 +81,7 @@ class FaultPlan:
         crash_rate: float = 0.0,
         replica_fail_rate: float = 0.0,
         link_fault_rate: float = 0.0,
+        timeout_rate: float = 0.0,
         straggler_factor: float = 8.0,
         schedules: Optional[Mapping[str, Iterable[int]]] = None,
     ):
@@ -90,6 +94,7 @@ class FaultPlan:
             "crash": crash_rate,
             "replica": replica_fail_rate,
             "link": link_fault_rate,
+            "timeout": timeout_rate,
         }
         for name, rate in rates.items():
             if not 0.0 <= rate < 1.0:
@@ -199,6 +204,7 @@ class FaultPlan:
             crash_rate=rates.get("crash", 0.0),
             replica_fail_rate=rates.get("replica", 0.0),
             link_fault_rate=rates.get("link", 0.0),
+            timeout_rate=rates.get("timeout", 0.0),
             straggler_factor=cfg["straggler_factor"],
             schedules=cfg.get("schedules") or None,
         )

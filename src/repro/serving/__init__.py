@@ -34,6 +34,16 @@ from repro.serving.checkpoint import (
 from repro.serving.engine import EngineConfig, ServingEngine
 from repro.serving.executor import Postprocessor, StepExecutor
 from repro.serving.metrics import RequestTrace, ServingMetrics
+from repro.serving.overload import (
+    BROWNOUT_LADDER,
+    BrownoutController,
+    FrontDoor,
+    OverloadConfig,
+    OverloadReport,
+    TokenBucket,
+    overload_token_divergence,
+    slo_attainment,
+)
 from repro.serving.plan_cache import PlanCache
 from repro.serving.policy import (
     FCFSPolicy,
@@ -53,6 +63,7 @@ from repro.serving.model import (
 )
 from repro.serving.workload import (
     Request,
+    bursty_workload,
     constant_lengths,
     mtbench_workload,
     poisson_arrivals,
@@ -102,6 +113,14 @@ __all__ = [
     "available_policies",
     "RequestTrace",
     "ServingMetrics",
+    "BROWNOUT_LADDER",
+    "BrownoutController",
+    "FrontDoor",
+    "OverloadConfig",
+    "OverloadReport",
+    "TokenBucket",
+    "overload_token_divergence",
+    "slo_attainment",
     "OperatingPoint",
     "find_max_rate",
     "LLAMA_3_1_8B",
@@ -109,6 +128,7 @@ __all__ = [
     "VICUNA_13B",
     "ModelConfig",
     "Request",
+    "bursty_workload",
     "constant_lengths",
     "mtbench_workload",
     "poisson_arrivals",

@@ -30,6 +30,12 @@ class AdmissionController:
         #: Per-request transient-fault retries consumed before the prompt
         #: finished prefilling (streams carry their own counter after).
         self.prefill_retries: Dict[int, int] = {}
+        # Held-left integral of the saturation samples admit() records,
+        # for the time-weighted admission_pressure_mean metric.
+        self._pressure_t: Optional[float] = None
+        self._pressure_t0 = 0.0
+        self._pressure_sat = 0.0
+        self._pressure_integral = 0.0
 
     # -- admission ------------------------------------------------------------
 
@@ -53,6 +59,32 @@ class AdmissionController:
             sat = (len(st.streams) + len(st.prefill_queue)) / cfg.max_running
             if sat > st.metrics.admission_pressure:
                 st.metrics.admission_pressure = sat
+            if self._pressure_t is None:
+                self._pressure_t0 = self._pressure_t = t
+            else:
+                self._pressure_integral += self._pressure_sat * max(
+                    t - self._pressure_t, 0.0
+                )
+                self._pressure_t = t
+            self._pressure_sat = sat
+
+    def pressure_mean(self, t_end: float) -> float:
+        """Time-weighted mean admission saturation over [first admit, t_end].
+
+        Each :meth:`admit` sample holds until the next one (held-left
+        integration), so sustained saturation and a single spike of the
+        same peak produce very different means — the distinction the
+        breaker/brownout layer keys off.
+        """
+        if self._pressure_t is None:
+            return 0.0
+        span = t_end - self._pressure_t0
+        if span <= 0:
+            return self._pressure_sat
+        total = self._pressure_integral + self._pressure_sat * max(
+            t_end - self._pressure_t, 0.0
+        )
+        return total / span
 
     def fits(self, tokens: int) -> bool:
         """Admission control: keep one page of decode headroom per live
@@ -229,7 +261,18 @@ class AdmissionController:
 
     def shed_overload(self, t: float) -> None:
         """Capacity-blocked with nothing running: shed the youngest unit of
-        queued work instead of aborting the whole run."""
+        queued work instead of aborting the whole run.
+
+        Youngest-first deliberately ignores ``Request.priority`` — arrival
+        recency is the tiebreak even between same-age requests (the queue
+        *tail* goes first).  Priority still protects high-priority work
+        indirectly: :class:`repro.serving.policy.PriorityPolicy` keeps it at
+        the queue head, so under pressure low-priority requests pool at the
+        tail where this shed bites (covered by
+        ``tests/test_serving_admission.py::TestShedPriorityInteraction``).
+        Priority-*targeted* shedding is the brownout ladder's last rung
+        (:class:`repro.serving.overload.BrownoutController`), not this path.
+        """
         st = self.state
         if st.prefill_queue:
             idx = st.prefill_queue.pop()  # youngest admitted request

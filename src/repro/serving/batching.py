@@ -442,7 +442,7 @@ class BatchFormer:
         for s in alloc_failed:
             self._preempt_alloc_failed(s, t)
 
-        budget = cfg.prefill_chunk_size
+        budget = eng._chunk_budget()  # config size, shrunk under brownout
         segments: List[tuple] = []  # (PartialPrefill, chunk)
         while budget > 0:
             if not prefilling:
@@ -673,6 +673,7 @@ class BatchFormer:
             cfg.composable
             and eng.backend.supports_composable
             and not eng._step_is_degraded()
+            and not (eng.brownout is not None and eng.brownout.cascade_disabled)
         ):
             return None
         fork = self._fork_clusters()

@@ -201,6 +201,13 @@ class ServingEngine:
         #: the cluster engine on failover runs; plain runs skip the write
         #: so their summaries stay byte-identical).
         self.track_pressure = False
+        #: Optional :class:`repro.serving.overload.BrownoutController`,
+        #: installed by the cluster engine on overload runs.  When set, the
+        #: step loop feeds it one admission-saturation sample per step and
+        #: the batch former / executor consult its active rungs (chunk
+        #: shrink, cascade disable, token clamp, priority shed).  ``None``
+        #: (the default) keeps every consumer a single ``is None`` check.
+        self.brownout = None
         self._tracer: Optional[StepTracer] = None
         self._event_index = 0
         self._steps_done = 0
@@ -307,6 +314,34 @@ class ServingEngine:
 
     def _step_is_degraded(self) -> bool:
         return self._degrade is not None and self._degrade.degraded
+
+    def _chunk_budget(self) -> int:
+        """Prefill chunk budget for this step: the configured size, shrunk
+        by the brownout ladder's first rung while it is engaged."""
+        budget = self.config.prefill_chunk_size
+        if self.brownout is not None:
+            budget = self.brownout.chunk_budget(budget)
+        return budget
+
+    def _brownout_step(self, state, admission, t: float) -> None:
+        """Feed the brownout controller one saturation sample and apply its
+        shed rung; called once per step, only when a controller is set."""
+        bo = self.brownout
+        sat = (len(state.streams) + len(state.prefill_queue)) / self.config.max_running
+        delta = bo.observe(sat, t)
+        if delta:
+            self._fault_event(
+                "brownout", "engaged" if delta > 0 else "annealed", t,
+                detail=f"level {bo.level} ({bo.rung_name}), sat {sat:.2f}",
+            )
+        if bo.shed_active:
+            requests = state.requests
+            for idx in [
+                i for i in state.prefill_queue
+                if requests[i].priority < bo.shed_priority_below
+            ]:
+                state.prefill_queue.remove(idx)
+                admission.shed_request(requests[idx], idx, t, "brownout")
 
     def _prefix_stats(self, metrics: ServingMetrics, state) -> Dict[str, float]:
         """Radix-cache / cascade savings for the run summary.
@@ -597,6 +632,8 @@ class ServingEngine:
             self._policy.order(
                 state.prefill_queue, requests, t, default_deadline=default_deadline
             )
+            if self.brownout is not None:
+                self._brownout_step(state, admission, t)
             if self._degrade is not None:
                 if self._deadlines_active:
                     admission.shed_expired(t)
@@ -660,6 +697,8 @@ class ServingEngine:
             if self._ckpt is not None and step is not None:
                 self._ckpt.on_step_end(t)
         metrics.total_time = t
+        if self.track_pressure:
+            metrics.admission_pressure_mean = admission.pressure_mean(t)
         if self._journal is not None:
             self._journal.complete(t)
         if pc is not None:

@@ -292,6 +292,14 @@ class Postprocessor:
         eng = self.engine
         trace = RequestTrace(arrival=req.arrival, first_token_time=t)
         stream = Stream(idx, seq_id, req.output_len - 1, trace)
+        if eng.brownout is not None:
+            clamp = eng.brownout.token_clamp
+            if clamp is not None and stream.remaining > clamp - 1:
+                # Brownout rung 3: clamp max_new_tokens.  The clamped
+                # stream emits an exact prefix of the reference tokens —
+                # shorter answer, never a different one.
+                stream.remaining = clamp - 1
+                trace.outcome_reason = "brownout-clamp"
         if eng._degrade is not None:
             trace.req_id = idx
             trace.gen_index = gen
@@ -305,7 +313,7 @@ class Postprocessor:
                 if eng._replay is not None:
                     eng._replay.check(idx, gen, 0, tok0, t)
         self.state.streams.append(stream)
-        if req.output_len - 1 == 0:
+        if stream.remaining == 0:
             self._finish(stream, t)
 
     def _finish(self, stream: Stream, t: float) -> None:

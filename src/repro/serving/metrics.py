@@ -123,6 +123,11 @@ class ServingMetrics:
     #: routing.  Written only when ``engine.track_pressure`` is set, so
     #: plain-run summaries stay byte-identical.
     admission_pressure: float = 0.0
+    #: Time-weighted mean admission saturation over the run — sustained
+    #: overload, where :attr:`admission_pressure` is a single spike; the
+    #: breaker/brownout layer keys off this distinction.  Written (with
+    #: the same guard) only when ``engine.track_pressure`` is set.
+    admission_pressure_mean: float = 0.0
 
     def add(self, trace: RequestTrace) -> None:
         self.traces.append(trace)
@@ -185,6 +190,8 @@ class ServingMetrics:
             out.update(self.prefix_stats)
         if self.admission_pressure:
             out["admission_pressure"] = float(self.admission_pressure)
+        if self.admission_pressure_mean:
+            out["admission_pressure_mean"] = float(self.admission_pressure_mean)
         if self.fault_stats is not None:
             out.update(self.fault_stats)
             # Per-request shed records: which stream was shed, and when.
@@ -220,6 +227,10 @@ class ServingMetrics:
             merged.admission_pressure = max(
                 merged.admission_pressure, p.admission_pressure
             )
+            # Means don't sum across replicas; report the worst replica's.
+            merged.admission_pressure_mean = max(
+                merged.admission_pressure_mean, p.admission_pressure_mean
+            )
             merged.total_time = max(merged.total_time, p.total_time)
         return merged
 
@@ -241,6 +252,7 @@ class ServingMetrics:
             "cascade_steps": self.cascade_steps,
             "cascade_bytes_saved": self.cascade_bytes_saved,
             "admission_pressure": self.admission_pressure,
+            "admission_pressure_mean": self.admission_pressure_mean,
         }
 
     @classmethod
@@ -258,4 +270,7 @@ class ServingMetrics:
         m.cascade_steps = int(state.get("cascade_steps", 0))
         m.cascade_bytes_saved = float(state.get("cascade_bytes_saved", 0.0))
         m.admission_pressure = float(state.get("admission_pressure", 0.0))
+        m.admission_pressure_mean = float(
+            state.get("admission_pressure_mean", 0.0)
+        )
         return m

@@ -53,6 +53,10 @@ class Request:
     #: the single-engine run would.  ``None`` (the default) preserves the
     #: single-engine behavior bit for bit.
     rid: Optional[int] = None
+    #: Tenant id consumed by the overload front door's per-tenant rate
+    #: limiting (:mod:`repro.serving.overload`); untagged requests
+    #: (``None``) hash deterministically to ``rid % tenants`` at the door.
+    tenant: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.prompt_len <= 0 or self.output_len <= 0 or self.n <= 0:
@@ -63,6 +67,8 @@ class Request:
             raise ValueError("prefix_len requires a prefix_group")
         if self.deadline is not None and self.deadline <= 0:
             raise ValueError("deadline must be positive")
+        if self.tenant is not None and self.tenant < 0:
+            raise ValueError("tenant must be >= 0")
 
 
 def poisson_arrivals(num_requests: int, rate: float, rng: np.random.Generator) -> np.ndarray:
@@ -161,6 +167,66 @@ def mtbench_workload(
     prompts = rng.integers(40, 500, size=num_requests)
     outputs = rng.integers(100, 400, size=num_requests)
     return [Request(float(a), int(p), int(o)) for a, p, o in zip(arrivals, prompts, outputs)]
+
+
+def bursty_workload(
+    num_requests: int,
+    rate: float,
+    seed: SeedLike = 0,
+    tenants: int = 4,
+    burst: float = 3.0,
+    burst_len: float = 0.25,
+    burst_every: float = 1.5,
+    period: float = 2.0,
+    amplitude: float = 0.4,
+    premium_tenants: int = 1,
+) -> List[Request]:
+    """Bursty/diurnal tenant-tagged arrivals (the overload substrate).
+
+    An inhomogeneous Poisson process generated by thinning: the base
+    ``rate`` is modulated by a sinusoidal "diurnal" factor
+    ``1 + amplitude * sin(2*pi*t / period)`` and multiplied by ``burst``
+    inside seeded burst windows (gaps between windows ~ Exp(burst_every),
+    each ``burst_len`` seconds long) — sustained saturation with quiet
+    lulls in between, exactly the shape breakers and brownout need to
+    both trip *and* recover.  Lengths follow the ShareGPT-like
+    marginals; every request carries a seeded ``tenant`` tag, and the
+    first ``premium_tenants`` tenants get ``priority=1`` (the tier the
+    brownout shed rung protects).
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if tenants < 1 or not 0 <= premium_tenants <= tenants:
+        raise ValueError("need tenants >= 1 and 0 <= premium_tenants <= tenants")
+    if burst < 1.0 or not 0.0 <= amplitude < 1.0:
+        raise ValueError("need burst >= 1 and 0 <= amplitude < 1")
+    if burst_len <= 0 or burst_every <= 0 or period <= 0:
+        raise ValueError("burst_len, burst_every and period must be positive")
+    rng = new_rng(seed)
+    lam_max = rate * (1.0 + amplitude) * burst
+    out: List[Request] = []
+    t = 0.0
+    burst_t = float(rng.exponential(burst_every))  # next burst-window start
+    while len(out) < num_requests:
+        t += float(rng.exponential(1.0 / lam_max))
+        while t >= burst_t + burst_len:
+            burst_t += burst_len + float(rng.exponential(burst_every))
+        lam = rate * (1.0 + amplitude * float(np.sin(2.0 * np.pi * t / period)))
+        if burst_t <= t:
+            lam *= burst
+        if rng.random() * lam_max > lam:
+            continue  # thinned candidate
+        prompt = _lognormal_lengths(rng, 1, mu=4.6, sigma=1.0, lo=4, hi=4096)[0]
+        output = _lognormal_lengths(rng, 1, mu=5.3, sigma=0.8, lo=4, hi=2048)[0]
+        tenant = int(rng.integers(tenants))
+        out.append(
+            Request(
+                float(t), int(prompt), int(output),
+                priority=1 if tenant < premium_tenants else 0,
+                tenant=tenant,
+            )
+        )
+    return out
 
 
 # -- kernel-benchmark length distributions (§4.2) -----------------------------

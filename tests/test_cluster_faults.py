@@ -121,6 +121,20 @@ def test_replica_crashes_alias_is_deprecated_but_equivalent():
     assert legacy_tokens == modern_tokens
 
 
+def test_replica_failures_and_crashes_together_is_an_error():
+    """Passing both the modern and the deprecated spelling raises instead
+    of silently merging (or dropping) one of the two failure scripts."""
+    cfg = ClusterConfig(dp=2, router="round-robin",
+                        engine=EngineConfig(max_running=64),
+                        checkpoint_every=3)
+    with pytest.raises(ValueError, match="not both"):
+        ClusterEngine(
+            MODEL, H100_80G, cfg,
+            replica_failures={0: ReplicaFailure(3, "crash", "boundary")},
+            replica_crashes={1: [(5, "boundary")]},
+        )
+
+
 def test_snapshots_carry_the_world_shape():
     store = CheckpointStore()
     _engine(store).run(sharegpt_workload(4, rate=50.0, seed=1))

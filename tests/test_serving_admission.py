@@ -167,6 +167,94 @@ class TestShedOverload:
         assert shed_reasons(state) == [(0, "overload")]
 
 
+class TestShedPriorityInteraction:
+    """Satellite coverage: deadline/overload shedding x ``Request.priority``.
+
+    ``shed_overload`` is youngest-first and deliberately priority-blind —
+    the queue *tail* goes first even between same-age requests.  Priority
+    protects work only indirectly, by where :class:`PriorityPolicy` parks
+    it in the queue."""
+
+    def test_same_age_shed_takes_the_queue_tail_not_the_low_priority(self):
+        """Two requests with identical arrivals: the one at the queue tail
+        is shed, even when it is the *high*-priority one."""
+        reqs = [Request(0.5, 32, 4, priority=0), Request(0.5, 32, 4, priority=1)]
+        adm, state = make_controller(reqs)
+        state.waiting.clear()
+        state.prefill_queue.extend([0, 1])  # high priority parked at the tail
+        adm.shed_overload(t=1.0)
+        assert shed_reasons(state) == [(1, "overload")]
+        assert list(state.prefill_queue) == [0]
+
+    def test_priority_policy_pools_low_priority_at_the_shed_tail(self):
+        """Composed with PriorityPolicy ordering, repeated overload sheds
+        consume the low-priority pool first: high priority outlives low."""
+        from repro.serving import get_policy
+
+        reqs = [
+            Request(0.0, 32, 4, priority=0),
+            Request(0.1, 32, 4, priority=1),
+            Request(0.2, 32, 4, priority=0),
+            Request(0.3, 32, 4, priority=1),
+        ]
+        adm, state = make_controller(reqs)
+        state.waiting.clear()
+        state.prefill_queue.extend(range(4))
+        get_policy("priority").order(state.prefill_queue, reqs, now=0.4)
+        assert list(state.prefill_queue) == [1, 3, 0, 2]
+        adm.shed_overload(t=1.0)
+        adm.shed_overload(t=1.1)
+        # Both priority-0 requests went (youngest first); priority-1 survive.
+        assert shed_reasons(state) == [(2, "overload"), (0, "overload")]
+        assert [reqs[i].priority for i in state.prefill_queue] == [1, 1]
+
+
+class TestAdmissionPressureMean:
+    """Satellite coverage: the time-weighted ``admission_pressure_mean``."""
+
+    def test_held_left_integration_distinguishes_spike_from_sustained(self):
+        reqs = [Request(0.0, 32, 4)]
+        adm, state = make_controller(reqs)
+        adm.engine.track_pressure = True
+        state.waiting.clear()
+        # Sustained half-saturation for 1 s, then a quarter for 2 s.
+        state.prefill_queue.extend(range(32))  # 32 / max_running=64
+        adm.admit(t=0.0)
+        state.prefill_queue.clear()
+        state.prefill_queue.extend(range(16))
+        adm.admit(t=1.0)
+        mean = adm.pressure_mean(t_end=3.0)
+        assert mean == pytest.approx((0.5 * 1.0 + 0.25 * 2.0) / 3.0)
+        # Peak tracks the max sample, not the mean.
+        assert state.metrics.admission_pressure == pytest.approx(0.5)
+        # A single instantaneous spike barely moves the mean.
+        state.prefill_queue.extend(range(16, 64))
+        adm.admit(t=3.0)
+        spiked = adm.pressure_mean(t_end=3.0001)
+        assert spiked < mean + 0.01
+        assert state.metrics.admission_pressure == pytest.approx(1.0)
+
+    def test_no_samples_means_zero(self):
+        adm, _ = make_controller([Request(0.0, 32, 4)])
+        assert adm.pressure_mean(t_end=5.0) == 0.0
+
+    def test_engine_run_reports_the_mean_when_tracking(self):
+        reqs = [Request(i * 0.001, 64, 8) for i in range(6)]
+        engine = ServingEngine(
+            MODEL, FlashInferBackend(HEADS, H100_80G), H100_80G,
+            EngineConfig(max_running=4),
+        )
+        engine.track_pressure = True
+        metrics = engine.run(reqs)
+        assert 0.0 < metrics.admission_pressure_mean <= metrics.admission_pressure
+        assert metrics.summary()["admission_pressure_mean"] == pytest.approx(
+            metrics.admission_pressure_mean
+        )
+        # State round-trip carries the mean.
+        restored = ServingMetrics.from_state(metrics.export_state())
+        assert restored.admission_pressure_mean == metrics.admission_pressure_mean
+
+
 class TestEngineDeadlineShedding:
     def test_run_with_impossible_deadline_sheds_not_crashes(self):
         """End to end: a deadline shorter than a single step sheds every
