@@ -99,6 +99,8 @@ def _cmd_serve(args) -> int:
         return _serve_prefix(args, model)
     if args.overload:
         return _serve_overload(args, model)
+    if args.disagg:
+        return _serve_disagg(args, model)
     if args.tp > 1 or args.dp > 1 or args.fail_replica is not None:
         return _serve_cluster(args, model)
     requests = sharegpt_workload(args.requests, args.rate, seed=args.seed)
@@ -211,6 +213,14 @@ def _serve_cluster(args, model) -> int:
         f"{int(s['cluster_output_tokens'])} tokens, "
         f"{int(s['cluster_preemptions'])} preemptions"
     )
+    print(
+        f"  latency   : p50_ttft={s['cluster_p50_ttft'] * 1e3:.2f}ms "
+        f"p95_ttft={s['cluster_p95_ttft'] * 1e3:.2f}ms "
+        f"p99_ttft={s['cluster_p99_ttft'] * 1e3:.2f}ms | "
+        f"p50_itl={s['cluster_p50_itl'] * 1e3:.2f}ms "
+        f"p95_itl={s['cluster_p95_itl'] * 1e3:.2f}ms "
+        f"p99_itl={s['cluster_p99_itl'] * 1e3:.2f}ms"
+    )
     for i in range(args.dp):
         print(
             f"  replica {i} : {int(s[f'replica{i}_requests']):3d} requests, "
@@ -270,6 +280,95 @@ def _serve_cluster(args, model) -> int:
         print(f"  cluster trace → {args.trace} "
               f"({args.dp} replica process rows, shared simulated clock)")
     return 0 if divergent == 0 else 1
+
+
+def _serve_disagg(args, model) -> int:
+    """The ``serve --disagg prefill=N,decode=M`` pass: split the dp pool
+    into dedicated prefill and decode replicas, run a mixed long-prompt +
+    chatty workload, ship every finished prompt's live KV pages to its
+    paired decode replica over priced ``handoff`` links, and verify the
+    resumed streams token-exact against a single-GPU reference run."""
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterEngine,
+        expected_tokens,
+        parse_roles,
+    )
+    from repro.gpu import H100_80G
+    from repro.serving import EngineConfig, mixed_disagg_workload
+
+    counts = {}
+    for part in str(args.disagg).split(","):
+        key, _, value = part.partition("=")
+        counts[key.strip()] = int(value) if value else 0
+    dp = sum(counts.values())
+    prefill_ids, decode_ids = parse_roles(args.disagg, dp)
+
+    requests = mixed_disagg_workload(args.requests, args.rate, seed=args.seed)
+    long_prompts = sum(1 for r in requests if r.prompt_len >= 512)
+    engine_cfg = EngineConfig(
+        max_running=256, policy=args.policy,
+        chunked_prefill=True, composable=True,
+    )
+    cfg = ClusterConfig(
+        tp=args.tp, dp=dp, topology=args.topology, roles=args.disagg,
+        engine=engine_cfg,
+    )
+    cluster = ClusterEngine(model, H100_80G, cfg)
+    print(
+        f"{len(requests)} mixed requests ({long_prompts} long-prompt, "
+        f"{len(requests) - long_prompts} chatty) at {args.rate} req/s, "
+        f"{model.name} on a {args.tp * dp}-GPU H100 cluster "
+        f"(disaggregated: prefill={list(prefill_ids)}, "
+        f"decode={list(decode_ids)}, {args.topology} topology)"
+    )
+    reference = cluster.run_reference(requests)
+    cm = cluster.run(requests)
+    s = cm.summary()
+    print(
+        f"  cluster   : {s['cluster_total_time'] * 1e3:8.1f} ms makespan, "
+        f"{s['cluster_throughput_tok_s']:7.0f} tok/s, "
+        f"{int(s['cluster_output_tokens'])} tokens"
+    )
+    for i in range(dp):
+        role = "prefill" if i in prefill_ids else "decode"
+        print(
+            f"  replica {i} : {role:>7s}, "
+            f"{int(s[f'replica{i}_requests']):3d} requests, "
+            f"{s[f'replica{i}_total_time'] * 1e3:8.1f} ms, "
+            f"{s[f'replica{i}_throughput_tok_s']:7.0f} tok/s"
+        )
+    print(
+        f"  handoff   : handoff_requests={int(s['handoff_requests'])} "
+        f"handoff_pages={int(s['handoff_pages'])} "
+        f"handoff_bytes={int(s['handoff_bytes'])} "
+        f"handoff_chunks={int(s['handoff_chunks'])} "
+        f"handoff_retries={int(s['handoff_retries'])} "
+        f"handoff_pages_skipped={int(s['handoff_pages_skipped'])}"
+    )
+    print(
+        f"  interconnect: "
+        f"link_handoff_bytes={int(s.get('link_handoff_bytes', 0))} "
+        f"({s['handoff_transfer_s'] * 1e3:.2f} ms on the wire, "
+        f"{cluster.topology.link.name})"
+    )
+    print(
+        f"  ttft      : p50_ttft={s['cluster_p50_ttft'] * 1e3:.2f}ms "
+        f"p95_ttft={s['cluster_p95_ttft'] * 1e3:.2f}ms "
+        f"p99_ttft={s['cluster_p99_ttft'] * 1e3:.2f}ms"
+    )
+    print(
+        f"  itl       : p50_itl={s['cluster_p50_itl'] * 1e3:.2f}ms "
+        f"p95_itl={s['cluster_p95_itl'] * 1e3:.2f}ms "
+        f"p99_itl={s['cluster_p99_itl'] * 1e3:.2f}ms"
+    )
+    divergent, compared = cm.token_divergence(expected_tokens(reference))
+    print(
+        f"  token_divergence={divergent} "
+        f"({compared} streams compared vs single-GPU reference)"
+    )
+    ok = divergent == 0 and int(s["handoff_requests"]) > 0
+    return 0 if ok else 1
 
 
 def _serve_overload(args, model) -> int:
@@ -841,6 +940,14 @@ def main(argv=None) -> int:
         help="burst multiplier for --overload's arrival process: seeded "
         "Poisson bursts at this multiple of the diurnal base rate "
         "(default: 3.0)",
+    )
+    serve.add_argument(
+        "--disagg", default=None, metavar="prefill=N,decode=M",
+        help="disaggregated serving: partition the dp pool into dedicated "
+        "prefill and decode replicas; finished prompts hand their live KV "
+        "pages to a paired decode replica over priced handoff links "
+        "(checksummed chunks, bounded retry), and the resumed streams are "
+        "verified token-exact against a single-GPU reference",
     )
     serve.add_argument(
         "--fail-replica", default=None, dest="fail_replica",

@@ -23,6 +23,9 @@ Layered exactly like a real serving stack:
 * :mod:`repro.cluster.failover` — heartbeat failure detection, the
   per-replica health state machine, live KV migration over priced
   links, and token-exact takeover.
+* :mod:`repro.cluster.disagg` — disaggregated prefill/decode serving:
+  role pools, live KV handoff over priced ``kind="handoff"`` links, and
+  token-exact decode-side stream resumption.
 
 The topology/collectives/router layer is import-light (no serving
 dependency) and loads eagerly; the tp/engine layer imports the serving
@@ -47,6 +50,7 @@ from repro.cluster.router import (
     BreakerTransition,
     CacheAwarePolicy,
     CircuitBreaker,
+    DisaggPolicy,
     IllegalBreakerTransition,
     LeastLoadedPolicy,
     LoadTracker,
@@ -98,6 +102,12 @@ _LAZY = {
     "MigrationReport": "failover",
     "ReplicaFailure": "failover",
     "ReplicaHealth": "failover",
+    "DisaggCoordinator": "disagg",
+    "DisaggReport": "disagg",
+    "HandoffImport": "disagg",
+    "HandoffSink": "disagg",
+    "KVHandoff": "disagg",
+    "parse_roles": "disagg",
 }
 
 __all__ = [
@@ -128,6 +138,7 @@ __all__ = [
     "PowerOfTwoPolicy",
     "SessionAffinityPolicy",
     "CacheAwarePolicy",
+    "DisaggPolicy",
     "available_routing_policies",
     "get_routing_policy",
     "register_routing_policy",

@@ -31,7 +31,6 @@ completes with ``token_divergence=0``.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -121,6 +120,12 @@ class ClusterConfig:
     #: client retries, no breakers, no hedging, no brownout — and the run
     #: is bit-identical to the pre-overload engine.
     overload: Optional[object] = None
+    #: Disaggregated prefill/decode role partition of the dp replicas:
+    #: ``"prefill=N,decode=M"``, a ``{"prefill": N, "decode": M}`` dict of
+    #: pool sizes, or explicit replica-id lists (see
+    #: :func:`repro.cluster.disagg.parse_roles`).  ``None`` (the default)
+    #: keeps every replica colocated — byte-identical to pre-disagg runs.
+    roles: Optional[object] = None
 
 
 @dataclass
@@ -150,6 +155,9 @@ class ClusterMetrics:
     #: the overload layer configured; ``None`` otherwise (summaries
     #: unchanged).
     overload: Optional[object] = None
+    #: :class:`~repro.cluster.disagg.DisaggReport` when the run used
+    #: disaggregated role pools; ``None`` otherwise (summaries unchanged).
+    disagg: Optional[object] = None
 
     @property
     def merged(self):
@@ -212,6 +220,12 @@ class ClusterMetrics:
                 sum(m.recover_resumed for m in self.replicas)
             ),
         }
+        # Cluster-wide latency percentiles over the merged traces — the
+        # observable disagg (and any routing policy) actually moves.
+        merged = self.merged
+        for q in (50, 95, 99):
+            out[f"cluster_p{q}_ttft"] = merged.ttft_percentile(q)
+            out[f"cluster_p{q}_itl"] = merged.itl_percentile(q)
         for i, m in enumerate(self.replicas):
             out[f"replica{i}_requests"] = float(len(m.traces))
             out[f"replica{i}_output_tokens"] = float(m.total_output_tokens)
@@ -251,6 +265,10 @@ class ClusterMetrics:
         if self.overload is not None:
             # Front-door/breaker/brownout/SLO counters, only on overload runs.
             out.update(self.overload.summary())
+        if self.disagg is not None:
+            # Role-pool and KV-handoff counters, only on disagg runs; the
+            # matching wire accounting is link_stats' link_handoff_*.
+            out.update(self.disagg.summary())
         out.update(self.topology.link_stats(makespan=makespan))
         return out
 
@@ -279,8 +297,14 @@ class ClusterEngine:
     unhealthy windows into the routing pass (skip, backpressure, and
     hold-at-the-door when everything is down).
 
-    ``replica_crashes`` (``{replica: [(step, phase), ...]}``) is the
-    deprecated pre-failover spelling of scripted crashes.
+    ``replica_crashes`` — the pre-failover spelling of scripted crashes —
+    was removed after its deprecation window; passing it raises
+    :class:`TypeError` with the ``replica_failures`` migration hint.
+
+    With :attr:`ClusterConfig.roles` set the cluster runs *disaggregated*:
+    prefill-pool replicas run prompts only and hand the finished KV off to
+    paired decode-pool replicas over priced ``kind="handoff"`` links (see
+    :mod:`repro.cluster.disagg`), token-exact vs the colocated reference.
     """
 
     def __init__(
@@ -314,11 +338,44 @@ class ClusterEngine:
 
             backend_factory = FlashInferBackend
         self.backend_factory = backend_factory
-        if replica_failures is not None and replica_crashes is not None:
+        #: Disaggregated role partition ``(prefill_ids, decode_ids)``, or
+        #: ``None`` for the colocated cluster.
+        self.roles: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+        if cfg.roles is not None:
+            from repro.cluster.disagg import parse_roles
+
+            self.roles = parse_roles(cfg.roles, cfg.dp)
+            if cfg.router == "round-robin":
+                # The colocated default router is meaningless under role
+                # pools; upgrade to the pairing policy.
+                self.router = get_routing_policy("disagg")
+            elif cfg.router != "disagg":
+                raise ValueError(
+                    f"ClusterConfig(roles=...) requires the 'disagg' router "
+                    f"(or leaving the default), got {cfg.router!r}"
+                )
+            self.router.bind_roles(*self.roles)
+        elif cfg.router == "disagg":
             raise ValueError(
-                "pass either replica_failures= or the deprecated "
-                "replica_crashes=, not both (their scripts would merge "
-                "silently)"
+                "the 'disagg' router needs ClusterConfig(roles=...) to "
+                "define its prefill/decode pools"
+            )
+        #: rid → paired decode replica (populated by route() in disagg mode).
+        self._decode_assignments: Dict[int, int] = {}
+        # Disagg side tables _make_engine reads, so the plain, crash-harness
+        # and failover-takeover construction paths all get role wiring for
+        # free; empty dicts on colocated runs.
+        self._engine_roles: Dict[int, str] = {}
+        self._engine_sinks: Dict[int, object] = {}
+        self._engine_imports: Dict[int, dict] = {}
+        self._disagg_report = None
+        #: Test hook: handoff indices (in ship order) to tamper in flight.
+        self._corrupt_handoffs: Sequence[int] = ()
+        if replica_crashes is not None:
+            raise TypeError(
+                "replica_crashes= was removed (deprecated since the "
+                "failover release); pass replica_failures={replica: "
+                "[ReplicaFailure(step, 'crash', phase), ...]} instead"
             )
         #: Normalized ``{replica: [ReplicaFailure, ...]}``.
         self.replica_failures: Dict[int, List[ReplicaFailure]] = {}
@@ -326,17 +383,6 @@ class ClusterEngine:
             if isinstance(fs, ReplicaFailure):
                 fs = [fs]
             self.replica_failures[int(r)] = [f for f in fs]
-        if replica_crashes:
-            warnings.warn(
-                "replica_crashes is deprecated; use replica_failures="
-                "{replica: [ReplicaFailure(step, 'crash', phase), ...]}",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            for r, script in replica_crashes.items():
-                self.replica_failures.setdefault(int(r), []).extend(
-                    ReplicaFailure(step, "crash", phase) for step, phase in script
-                )
         #: Cluster-level :class:`~repro.faults.FaultPlan` (``replica`` and
         #: ``link`` sites); independent of any per-engine chaos plan.
         self.fault_plan = fault_plan
@@ -412,6 +458,13 @@ class ClusterEngine:
         )
         engine.dp_world = self.config.dp
         engine.dp_rank = replica
+        if self._engine_roles:
+            # Disagg wiring rides the side tables so every construction
+            # path — plain, crash harness, failover takeover — gets the
+            # replica's role, sink and imports without special-casing.
+            engine.role = self._engine_roles.get(replica)
+            engine.handoff_sink = self._engine_sinks.get(replica)
+            engine._handoff_imports = self._engine_imports.get(replica)
         if self.config.overload is not None:
             from repro.serving.overload import BrownoutController
 
@@ -460,6 +513,8 @@ class ClusterEngine:
             self._brownouts = {}
         self._overload_report = report
         self._breakers = breakers
+        disagg = self.roles is not None
+        self._decode_assignments = {}
         self.router.reset(cfg.dp, cfg.router_seed)
         tracker = LoadTracker(cfg.dp, self._nominal_service_rate())
         schedule = self.health_schedule
@@ -512,7 +567,17 @@ class ClusterEngine:
                 )
             per_replica[choice].append(r)
             assignments.append(choice)
-            tracker.assign(choice, r.prompt_len + r.output_len * r.n)
+            if disagg:
+                # The prompt compute lands on the prefill replica; the
+                # decode work lands on the paired decode replica, chosen
+                # least-loaded-healthy within its pool now so later
+                # arrivals see the decode pool's true outstanding work.
+                pair = int(self.router.pair(r, r.arrival, loads, healthy))
+                self._decode_assignments[r.rid] = pair
+                tracker.assign(choice, float(r.prompt_len))
+                tracker.assign(pair, float(r.output_len * r.n))
+            else:
+                tracker.assign(choice, r.prompt_len + r.output_len * r.n)
         self._held_requests = held
         if held or breakers is not None:
             # Clamped arrivals (holds, retries, timeouts, hedges) can land
@@ -534,10 +599,13 @@ class ClusterEngine:
         bcfg = breakers[choice].config
         dp = self.config.dp
         t = r.arrival
+        # Under disagg, re-dispatch and hedging stay within the prefill
+        # pool — a decode replica never prefills.
+        pool = self.roles[0] if self.roles is not None else range(dp)
 
         def alternates(exclude: int) -> List[int]:
             return [
-                j for j in range(dp)
+                j for j in pool
                 if j != exclude
                 and (mask is None or mask[j])
                 and breakers[j].state != "open"
@@ -603,12 +671,6 @@ class ClusterEngine:
 
     def run(self, requests) -> ClusterMetrics:
         """Serve the workload across the cluster; returns cluster metrics."""
-        from repro.serving.checkpoint import (
-            CheckpointConfig,
-            CheckpointStore,
-            CrashHarness,
-        )
-
         cfg = self.config
         per_replica, assignments = self.route(requests)
         failures = self._resolve_failures()
@@ -632,49 +694,39 @@ class ClusterEngine:
                             f"replica {r}: drain requires ClusterConfig."
                             f"failover (a drain is a KV handoff)"
                         )
-        replica_metrics = []
         crash_reports: Optional[List[object]] = (
             [None] * cfg.dp if failures and controller is None else None
         )
         # Token work routed to each replica — the controller's load
-        # signal for picking migration targets.
-        assigned_tokens = [
-            float(sum(r.prompt_len + r.output_len * r.n for r in lst))
-            for lst in per_replica
-        ]
+        # signal for picking migration targets.  Disagg splits each
+        # request's work across its prefill/decode pair.
+        if self.roles is not None:
+            assigned_tokens = [0.0] * cfg.dp
+            for lst in per_replica:
+                for r in lst:
+                    assigned_tokens[
+                        self._decode_assignments[r.rid]
+                    ] += float(r.output_len * r.n)
+            for i, lst in enumerate(per_replica):
+                assigned_tokens[i] += float(sum(r.prompt_len for r in lst))
+        else:
+            assigned_tokens = [
+                float(sum(r.prompt_len + r.output_len * r.n for r in lst))
+                for lst in per_replica
+            ]
         failing = frozenset(failures)
-        for i in range(cfg.dp):
-            tracer = self.tracers[i] if self.tracers is not None else None
-            script = failures.get(i)
-            if script and controller is not None:
-                metrics = self._run_with_failover(
-                    i, per_replica, script[0], controller, assigned_tokens,
-                    failing,
+        replica_metrics: List[object] = [None] * cfg.dp
+        if self.roles is None:
+            for i in range(cfg.dp):
+                replica_metrics[i] = self._run_replica(
+                    i, per_replica, failures, controller, assigned_tokens,
+                    failing, crash_reports,
                 )
-            elif script:
-                store = CheckpointStore()
-                every = cfg.checkpoint_every if cfg.checkpoint_every > 0 else 4
-                ckpt = CheckpointConfig(every_steps=every)
-
-                def factory(i=i, tracer=tracer, ckpt=ckpt, store=store):
-                    return self._make_engine(i, tracer, ckpt, store)
-
-                report = CrashHarness(
-                    factory, per_replica[i], store,
-                    crash_script=[(f.step, f.phase) for f in script],
-                ).run()
-                crash_reports[i] = report
-                metrics = report.metrics
-            else:
-                ckpt = store = None
-                if cfg.checkpoint_every > 0:
-                    ckpt = CheckpointConfig(every_steps=cfg.checkpoint_every)
-                    store = CheckpointStore()
-                engine = self._make_engine(i, tracer, ckpt, store)
-                if controller is not None:
-                    engine.track_pressure = True
-                metrics = engine.run(per_replica[i])
-            replica_metrics.append(metrics)
+        else:
+            per_replica = self._run_disagg_waves(
+                per_replica, failures, controller, assigned_tokens,
+                failing, crash_reports, replica_metrics,
+            )
         failover_report = None
         if controller is not None:
             controller.report.held_requests = self._held_requests
@@ -689,6 +741,7 @@ class ClusterEngine:
             crash_reports=crash_reports, failover=failover_report,
             held_requests=self._held_requests,
             overload=self._overload_report,
+            disagg=self._disagg_report,
         )
         if self._overload_report is not None:
             report = self._overload_report
@@ -698,6 +751,149 @@ class ClusterEngine:
             )
             report.finalize_slo(cm)
         return cm
+
+    def _run_replica(
+        self,
+        i: int,
+        per_replica: List[list],
+        failures: Dict[int, List[ReplicaFailure]],
+        controller: Optional[FailoverController],
+        assigned_tokens: List[float],
+        failing: frozenset,
+        crash_reports: Optional[List[object]],
+    ):
+        """One replica through whichever pipeline its failure script needs:
+        failover, in-place crash harness, or a plain run."""
+        from repro.serving.checkpoint import (
+            CheckpointConfig,
+            CheckpointStore,
+            CrashHarness,
+        )
+
+        cfg = self.config
+        tracer = self.tracers[i] if self.tracers is not None else None
+        script = failures.get(i)
+        if script and controller is not None:
+            return self._run_with_failover(
+                i, per_replica, script[0], controller, assigned_tokens,
+                failing,
+            )
+        if script:
+            store = CheckpointStore()
+            every = cfg.checkpoint_every if cfg.checkpoint_every > 0 else 4
+            ckpt = CheckpointConfig(every_steps=every)
+
+            def factory(i=i, tracer=tracer, ckpt=ckpt, store=store):
+                return self._make_engine(i, tracer, ckpt, store)
+
+            report = CrashHarness(
+                factory, per_replica[i], store,
+                crash_script=[(f.step, f.phase) for f in script],
+            ).run()
+            crash_reports[i] = report
+            return report.metrics
+        ckpt = store = None
+        if cfg.checkpoint_every > 0:
+            ckpt = CheckpointConfig(every_steps=cfg.checkpoint_every)
+            store = CheckpointStore()
+        engine = self._make_engine(i, tracer, ckpt, store)
+        if controller is not None:
+            engine.track_pressure = True
+        return engine.run(per_replica[i])
+
+    def _run_disagg_waves(
+        self,
+        per_replica: List[list],
+        failures: Dict[int, List[ReplicaFailure]],
+        controller: Optional[FailoverController],
+        assigned_tokens: List[float],
+        failing: frozenset,
+        crash_reports: Optional[List[object]],
+        replica_metrics: List[object],
+    ) -> List[list]:
+        """The disaggregated run: prefill wave → KV shipping → decode wave.
+
+        Wave 1 runs every prefill-pool replica; each finished prompt lands
+        in its replica's :class:`~repro.cluster.disagg.HandoffSink` instead
+        of decoding locally (a failover takeover or crash-harness restore
+        re-fires into the *same* sink, whose ``(rid, gen)`` keying dedups
+        the re-executed spawns — a dying prefill replica's in-flight
+        handoffs are recomputed, never lost).  The coordinator then ships
+        every handoff over the topology as priced ``kind="handoff"``
+        chunks.  Wave 2 rebuilds each decode replica's request list —
+        arrival clamped to when its last handoff chunk cleared the wire —
+        and runs the decode pool, which absorbs the imports and resumes
+        each stream token-exactly.  Returns the updated ``per_replica``
+        (decode lists replace the empty routed ones, so trace/req_id →
+        rid mapping stays correct for the divergence check).
+        """
+        from repro.cluster.disagg import (
+            DisaggCoordinator,
+            DisaggReport,
+            HandoffSink,
+        )
+
+        cfg = self.config
+        prefill_ids, decode_ids = self.roles
+        ecfg = self._engine_config()
+        prefix_on = bool(ecfg.prefix_cache or ecfg.prefix_caching)
+        self._engine_roles = {}
+        self._engine_sinks = {}
+        self._engine_imports = {}
+        for i in prefill_ids:
+            self._engine_roles[i] = "prefill"
+            self._engine_sinks[i] = HandoffSink(
+                i, self._decode_assignments, prefix_caching=prefix_on
+            )
+        for i in decode_ids:
+            self._engine_roles[i] = "decode"
+        prefill_set = frozenset(prefill_ids)
+        decode_set = frozenset(decode_ids)
+        for i in prefill_ids:
+            # A failing prefill replica must never migrate onto a decode
+            # replica (and vice versa): exclude the other pool.
+            replica_metrics[i] = self._run_replica(
+                i, per_replica, failures, controller, assigned_tokens,
+                failing | decode_set, crash_reports,
+            )
+        report = DisaggReport(
+            prefill_replicas=prefill_ids, decode_replicas=decode_ids
+        )
+        coordinator = DisaggCoordinator(
+            self.topology, cfg.failover, self.fault_plan,
+            prefix_caching=prefix_on,
+        )
+        handoffs = []
+        for i in prefill_ids:
+            handoffs.extend(self._engine_sinks[i].handoffs.values())
+        imports_by_target = coordinator.ship(
+            handoffs, report, corrupt_handoffs=self._corrupt_handoffs
+        )
+        self._disagg_report = report
+        rid_to_req = {
+            r.rid: r for i in prefill_ids for r in per_replica[i]
+        }
+        for i in decode_ids:
+            by_rid: Dict[int, list] = {}
+            for imp in imports_by_target.get(i, []):
+                by_rid.setdefault(imp.rid, []).append(imp)
+            reqs = []
+            for rid, lst in by_rid.items():
+                # The stream cannot resume before its last chunk lands.
+                t_avail = max(x.t_available for x in lst)
+                reqs.append(clamp_arrival(rid_to_req[rid], t_avail))
+            reqs.sort(key=lambda q: (q.arrival, q.rid))
+            per_replica[i] = reqs
+            self._engine_imports[i] = {
+                idx: sorted(by_rid[q.rid], key=lambda x: x.gen)
+                for idx, q in enumerate(reqs)
+            }
+        for i in decode_ids:
+            replica_metrics[i] = self._run_replica(
+                i, per_replica, failures, controller, assigned_tokens,
+                failing | prefill_set, crash_reports,
+            )
+        return per_replica
 
     def _run_with_failover(
         self,
@@ -798,7 +994,14 @@ class ClusterEngine:
         :func:`repro.obs.write_cluster_trace`."""
         if self.tracers is None:
             raise ValueError("construct the ClusterEngine with trace=True")
+
+        def label(i: int) -> str:
+            role = self._engine_roles.get(i)
+            if role is not None:
+                return f"replica {i} ({role}, tp={self.config.tp})"
+            return f"replica {i} (tp={self.config.tp})"
+
         return [
-            (f"replica {i} (tp={self.config.tp})", tr.events, tr.fault_events)
+            (label(i), tr.events, tr.fault_events)
             for i, tr in enumerate(self.tracers)
         ]

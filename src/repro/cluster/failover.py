@@ -424,10 +424,16 @@ class KVMigrator:
 
     def _send(
         self, payload: str, checksum: str, wire_bytes: float, t: float,
-        what: str, tampered: bool,
+        what: str, tampered: bool, kind: str = "migration",
     ) -> Tuple[str, float, int]:
         """One chunk through the retry loop; returns
-        ``(received_payload, elapsed_seconds, retries)``."""
+        ``(received_payload, elapsed_seconds, retries)``.
+
+        ``kind`` names the traffic class charged on the topology
+        (``"migration"`` for failover, ``"handoff"`` for disaggregated
+        prefill→decode shipping), so each flow gets its own
+        ``link_<kind>_*`` accounting.
+        """
         cfg = self.config
         arr = np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
         elapsed = 0.0
@@ -436,7 +442,7 @@ class KVMigrator:
             faulted = self._link_faulted()
             received, cost = p2p_send(
                 arr, self.topology, t=t + elapsed,
-                kind="migration", wire_bytes=wire_bytes,
+                kind=kind, wire_bytes=wire_bytes,
             )
             elapsed += cost
             if faulted:
@@ -445,7 +451,7 @@ class KVMigrator:
                 retries += 1
                 if attempt >= cfg.max_retries:
                     raise MigrationError(
-                        f"migration {what}: link faulted on all "
+                        f"{kind} {what}: link faulted on all "
                         f"{cfg.max_retries + 1} transfer attempts"
                     )
                 elapsed += cfg.backoff_base * cfg.backoff_factor ** attempt
@@ -455,7 +461,7 @@ class KVMigrator:
                 data = "\x00" + data[1:]
             if _chunk_sha(data) != checksum:
                 raise MigrationChecksumError(
-                    f"migration {what}: received payload fails its sha256; "
+                    f"{kind} {what}: received payload fails its sha256; "
                     f"refusing to import an unverifiable page table"
                 )
             return data, elapsed, retries

@@ -45,6 +45,7 @@ __all__ = [
     "BreakerTransition",
     "CacheAwarePolicy",
     "CircuitBreaker",
+    "DisaggPolicy",
     "IllegalBreakerTransition",
     "LeastLoadedPolicy",
     "LoadTracker",
@@ -289,11 +290,85 @@ class CacheAwarePolicy(RoutingPolicy):
         return int(best)
 
 
+class DisaggPolicy(RoutingPolicy):
+    """Prefill→decode pairing for disaggregated role pools (DistServe).
+
+    The cluster binds the role partition with :meth:`bind_roles`; from
+    then on :meth:`choose` is least-loaded *within the prefill pool* (the
+    prompt compute goes there) and :meth:`pair` picks the least-loaded
+    decode replica the finished prefill will hand its KV pages to.  Both
+    respect the routing health mask — failover marks and open overload
+    breakers confine each side to its pool's healthy members, falling
+    back to the whole pool only when none are healthy (the cluster then
+    holds the request at the door, exactly as colocated routing does).
+    """
+
+    name = "disagg"
+
+    def reset(self, num_replicas: int, seed: int = 0) -> None:
+        super().reset(num_replicas, seed)
+        if getattr(self, "prefill_pool", None) is None:
+            self.prefill_pool: Optional[Tuple[int, ...]] = None
+            self.decode_pool: Optional[Tuple[int, ...]] = None
+
+    def bind_roles(
+        self, prefill: Sequence[int], decode: Sequence[int]
+    ) -> None:
+        """Install the role partition (validated by the cluster engine)."""
+        if not prefill or not decode:
+            raise ValueError("disagg routing needs both role pools non-empty")
+        self.prefill_pool = tuple(int(r) for r in prefill)
+        self.decode_pool = tuple(int(r) for r in decode)
+
+    def _require_pools(self) -> None:
+        if getattr(self, "prefill_pool", None) is None:
+            raise ValueError(
+                "DisaggPolicy.bind_roles was never called; the 'disagg' "
+                "router only works under ClusterConfig(roles=...)"
+            )
+
+    @staticmethod
+    def _best(
+        pool: Sequence[int],
+        loads: Sequence[float],
+        healthy: Optional[Sequence[bool]],
+    ) -> int:
+        candidates = (
+            [r for r in pool if healthy[r]]
+            if healthy is not None and any(healthy[r] for r in pool)
+            else list(pool)
+        )
+        return int(min(candidates, key=lambda r: (loads[r], r)))
+
+    def choose(self, req, t, loads) -> int:
+        self._require_pools()
+        return self._best(self.prefill_pool, loads, None)
+
+    def route(self, req, t, loads, healthy=None) -> int:
+        self._require_pools()
+        return self._best(self.prefill_pool, loads, healthy)
+
+    def rebind(self, req, t, loads, healthy, choice) -> int:
+        self._require_pools()
+        return self._best(self.prefill_pool, loads, healthy)
+
+    def pair(
+        self,
+        req,
+        t: float,
+        loads: Sequence[float],
+        healthy: Optional[Sequence[bool]] = None,
+    ) -> int:
+        """The decode replica this request's KV pages will hand off to."""
+        self._require_pools()
+        return self._best(self.decode_pool, loads, healthy)
+
+
 _POLICIES: Dict[str, Type[RoutingPolicy]] = {}
 _ENTRY_POINTS_LOADED = False
 _BUILTIN_NAMES = (
     "round-robin", "least-loaded", "power-of-two", "session-affinity",
-    "cache-aware",
+    "cache-aware", "disagg",
 )
 
 
@@ -307,7 +382,7 @@ def register_routing_policy(cls: Type[RoutingPolicy]) -> Type[RoutingPolicy]:
 
 for _cls in (
     RoundRobinPolicy, LeastLoadedPolicy, PowerOfTwoPolicy,
-    SessionAffinityPolicy, CacheAwarePolicy,
+    SessionAffinityPolicy, CacheAwarePolicy, DisaggPolicy,
 ):
     register_routing_policy(_cls)
 

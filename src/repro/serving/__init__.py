@@ -62,9 +62,11 @@ from repro.serving.model import (
     ModelConfig,
 )
 from repro.serving.workload import (
+    MIXED_LONG_PROMPT_THRESHOLD,
     Request,
     bursty_workload,
     constant_lengths,
+    mixed_disagg_workload,
     mtbench_workload,
     poisson_arrivals,
     sharegpt_workload,
@@ -127,9 +129,11 @@ __all__ = [
     "LLAMA_3_1_70B",
     "VICUNA_13B",
     "ModelConfig",
+    "MIXED_LONG_PROMPT_THRESHOLD",
     "Request",
     "bursty_workload",
     "constant_lengths",
+    "mixed_disagg_workload",
     "mtbench_workload",
     "poisson_arrivals",
     "sharegpt_workload",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from repro.kvcache.paged import TransientAllocFault
 from repro.serving.batching import PartialPrefill, RunState, Stream
 from repro.serving.metrics import RequestTrace
 from repro.serving.workload import Request
@@ -67,6 +68,69 @@ class AdmissionController:
                 )
                 self._pressure_t = t
             self._pressure_sat = sat
+
+    def absorb_handoffs(self, t: float) -> None:
+        """Turn admitted handed-off requests into live decode streams.
+
+        Disaggregated decode replicas never prefill a handed-off prompt:
+        the prefill pool already did that compute and shipped the KV pages
+        over the topology.  Absorbing an import allocates the context's
+        page-table structure (the wire transfer already priced the bytes),
+        seeds each generation's stream with the prefill-side first token,
+        and resumes decoding at position 1 — token-exactly, because token
+        ids are a pure function of ``(rid, gen, position)``.
+
+        Imports that do not fit under pool pressure stay queued and retry
+        next step; a transient allocation fault follows the same
+        retry-or-shed path as a faulted prefill.
+        """
+        eng = self.engine
+        st = self.state
+        imports = eng._handoff_imports
+        record = eng._degrade is not None and eng.resilience.record_tokens
+        for idx in list(st.prefill_queue):
+            imps = imports.get(idx)
+            if imps is None:
+                continue
+            if not self.fits(imps[0].context_len):
+                continue  # pool pressure: keep queued, retry next step
+            st.prefill_queue.remove(idx)
+            req = st.requests[idx]
+            base_sid = -1
+            created = []
+            try:
+                for k, imp in enumerate(imps):
+                    if k == 0:
+                        sid = st.cache.new_seq()
+                        created.append(sid)
+                        st.cache.extend(sid, imp.context_len)
+                        base_sid = sid
+                    else:
+                        # Generations share the prompt pages copy-on-write,
+                        # exactly as colocated fork groups do.
+                        sid = st.cache.fork_seq(base_sid)
+                        created.append(sid)
+            except TransientAllocFault:
+                for sid in created:
+                    st.cache.free_seq(sid)
+                self.requeue_prompt(idx, t)
+                continue
+            for sid, imp in zip(created, imps):
+                trace = RequestTrace(
+                    arrival=imp.arrival, first_token_time=imp.first_token_time,
+                    req_id=idx, gen_index=imp.gen,
+                )
+                stream = Stream(idx, sid, imp.remaining, trace)
+                stream.gen_index = imp.gen
+                if eng._degrade is not None:
+                    stream.deadline = eng._deadline_for(req)
+                if record:
+                    trace.tokens = [imp.tok0]
+                    if eng._journal is not None:
+                        eng._journal.token(idx, imp.gen, 0, imp.tok0, t)
+                    if eng._replay is not None:
+                        eng._replay.check(idx, imp.gen, 0, imp.tok0, t)
+                st.streams.append(stream)
 
     def pressure_mean(self, t_end: float) -> float:
         """Time-weighted mean admission saturation over [first admit, t_end].

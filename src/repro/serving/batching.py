@@ -380,9 +380,12 @@ class BatchFormer:
         tokens = 0
         evictable = st.radix.evictable_pages() if st.radix is not None else 0
         pages_left = cache.num_free_pages + evictable - len(streams)  # decode headroom
+        imports = self.engine._handoff_imports
         while prefill_queue and (
             not batch or tokens + requests[prefill_queue[0]].prompt_len <= cfg.max_prefill_tokens
         ):
+            if imports and prefill_queue[0] in imports:
+                break  # handed-off prompt: absorbed, never compute-prefilled
             nxt = requests[prefill_queue[0]].prompt_len
             need = -(-nxt // cfg.page_size)
             if batch and need > pages_left:
@@ -448,6 +451,8 @@ class BatchFormer:
             if not prefilling:
                 if not prefill_queue:
                     break
+                if eng._handoff_imports and prefill_queue[0] in eng._handoff_imports:
+                    break  # handed-off prompt: absorbed, never compute-prefilled
                 idx = prefill_queue.popleft()
                 sid, _ = self._start_prefill_seq(cache, idx)
                 pp = PartialPrefill(idx, sid)

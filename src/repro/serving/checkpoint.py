@@ -404,10 +404,21 @@ class RecoveryManager:
             )
         if self.expected_world is not None:
             snap_world = snap.get("world") or _DEFAULT_WORLD
+
+            def norm(key, value):
+                # "role" (disaggregated pools) is a string; the shape
+                # axes are ints.  Missing keys fall back to the
+                # single-GPU default (role absent → colocated, None).
+                return str(value) if key == "role" else int(value)
+
             mismatched = {
-                k: (int(snap_world.get(k, _DEFAULT_WORLD[k])), int(v))
+                k: (
+                    norm(k, snap_world.get(k, _DEFAULT_WORLD.get(k))),
+                    norm(k, v),
+                )
                 for k, v in self.expected_world.items()
-                if int(snap_world.get(k, _DEFAULT_WORLD[k])) != int(v)
+                if norm(k, snap_world.get(k, _DEFAULT_WORLD.get(k)))
+                != norm(k, v)
             }
             if mismatched:
                 detail = ", ".join(

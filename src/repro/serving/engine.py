@@ -208,6 +208,17 @@ class ServingEngine:
         #: shrink, cascade disable, token clamp, priority shed).  ``None``
         #: (the default) keeps every consumer a single ``is None`` check.
         self.brownout = None
+        #: Disaggregated-serving hooks, installed by the cluster engine's
+        #: disagg mode (:mod:`repro.cluster.disagg`).  ``role`` names this
+        #: replica's pool (``"prefill"`` / ``"decode"``) and rides into the
+        #: checkpoint ``world``; ``handoff_sink`` intercepts decode-stream
+        #: spawns on prefill replicas; ``_handoff_imports`` maps request
+        #: index → shipped :class:`~repro.cluster.disagg.HandoffImport`
+        #: list a decode replica absorbs instead of prefilling.  All
+        #: ``None`` by default — plain runs are untouched.
+        self.role: Optional[str] = None
+        self.handoff_sink = None
+        self._handoff_imports: Optional[dict] = None
         self._tracer: Optional[StepTracer] = None
         self._event_index = 0
         self._steps_done = 0
@@ -286,13 +297,21 @@ class ServingEngine:
     # -- shared hooks (used by every pipeline layer) ----------------------------
 
     @property
-    def world(self) -> Dict[str, int]:
-        """Cluster shape this engine runs in (stamped into snapshots)."""
-        return {
+    def world(self) -> Dict[str, object]:
+        """Cluster shape this engine runs in (stamped into snapshots).
+
+        Under disaggregated serving the replica's pool rides along as a
+        ``role`` key; colocated worlds omit it, keeping pre-disagg
+        snapshots compatible.
+        """
+        world: Dict[str, object] = {
             "tp": self.config.tensor_parallel,
             "dp": self.dp_world,
             "replica": self.dp_rank,
         }
+        if self.role is not None:
+            world["role"] = self.role
+        return world
 
     def _count(self, key: str, n: int = 1) -> None:
         self._fault_counters[key] = self._fault_counters.get(key, 0) + n
@@ -541,7 +560,11 @@ class ServingEngine:
         # KV page tables don't fit this head partitioning (pre-world
         # snapshots count as the single-GPU shape).
         snap_world = snap.get("world") or {"tp": 1, "dp": 1, "replica": 0}
-        if {k: int(v) for k, v in snap_world.items()} != self.world:
+        normalized = {
+            k: (str(v) if k == "role" else int(v))
+            for k, v in snap_world.items()
+        }
+        if normalized != self.world:
             raise WorldMismatchError(
                 f"snapshot {recovered.snapshot_id} was taken under world "
                 f"{snap_world} but this engine is world {self.world}; "
@@ -629,6 +652,8 @@ class ServingEngine:
             if self._crash_armed:
                 self._maybe_crash(t, "boundary")
             admission.admit(t)
+            if self._handoff_imports:
+                admission.absorb_handoffs(t)
             self._policy.order(
                 state.prefill_queue, requests, t, default_deadline=default_deadline
             )

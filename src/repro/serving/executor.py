@@ -312,6 +312,15 @@ class Postprocessor:
                     eng._journal.token(idx, gen, 0, tok0, t)
                 if eng._replay is not None:
                     eng._replay.check(idx, gen, 0, tok0, t)
+        if eng.handoff_sink is not None and stream.remaining > 0:
+            # Disaggregated prefill replica: the finished prompt's live KV
+            # leaves for a decode replica instead of decoding here.  The
+            # sink exports the pages before the sequence is freed; the
+            # completed trace belongs to the decode side.  Streams whose
+            # single token already landed this step complete locally.
+            eng.handoff_sink(req, idx, gen, seq_id, t, stream, self.state.cache)
+            self.state.cache.free_seq(seq_id)
+            return
         self.state.streams.append(stream)
         if stream.remaining == 0:
             self._finish(stream, t)

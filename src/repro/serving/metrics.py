@@ -167,14 +167,27 @@ class ServingMetrics:
         itls = self.all_itls
         return float(np.percentile(itls, 99)) if itls.size else float("nan")
 
+    def ttft_percentile(self, q: float) -> float:
+        """TTFT at percentile ``q`` (0–100) over completed traces."""
+        return float(np.percentile(self.ttfts, q)) if self.traces else float("nan")
+
+    def itl_percentile(self, q: float) -> float:
+        """ITL at percentile ``q`` (0–100), pooled over every trace's gaps."""
+        itls = self.all_itls
+        return float(np.percentile(itls, q)) if itls.size else float("nan")
+
     def throughput_tokens_per_s(self) -> float:
         return self.total_output_tokens / self.total_time if self.total_time > 0 else 0.0
 
     def summary(self) -> Dict[str, float]:
         out = {
             "median_ttft": self.median_ttft(),
+            "p50_ttft": self.ttft_percentile(50),
+            "p95_ttft": self.ttft_percentile(95),
             "p99_ttft": self.p99_ttft(),
             "median_itl": self.median_itl(),
+            "p50_itl": self.itl_percentile(50),
+            "p95_itl": self.itl_percentile(95),
             "p99_itl": self.p99_itl(),
             "throughput_tok_s": self.throughput_tokens_per_s(),
             "num_requests": float(len(self.traces)),

@@ -229,6 +229,59 @@ def bursty_workload(
     return out
 
 
+#: Prompt length at/above which :func:`mixed_disagg_workload` requests
+#: count as "long" (the chatty class is everything below it).
+MIXED_LONG_PROMPT_THRESHOLD = 512
+
+
+def mixed_disagg_workload(
+    num_requests: int,
+    rate: float,
+    seed: SeedLike = 0,
+    chatty_fraction: float = 0.75,
+    long_prompt_lo: int = 2048,
+    long_prompt_hi: int = 4096,
+    long_output_lo: int = 8,
+    long_output_hi: int = 32,
+    chatty_prompt_lo: int = 32,
+    chatty_prompt_hi: int = 128,
+    chatty_output_lo: int = 32,
+    chatty_output_hi: int = 128,
+) -> List[Request]:
+    """Mixed long-prompt + chatty workload (the disaggregation target).
+
+    Two interleaved request classes on one Poisson arrival process: rare
+    long-prompt summarization jobs (huge prefill, tiny decode) and a
+    majority of chatty sessions (tiny prefill, long decode).  Colocated,
+    each long prefill step blocks every chatty stream sharing its replica
+    — the ITL spikes DistServe-style prefill/decode disaggregation
+    removes.  Class membership is recoverable from the lengths alone: a
+    prompt at or above :data:`MIXED_LONG_PROMPT_THRESHOLD` tokens is
+    "long", anything below is "chatty" (the generators' ranges keep a
+    wide gap around the threshold).
+    """
+    if not 0.0 < chatty_fraction < 1.0:
+        raise ValueError("chatty_fraction must be in (0, 1)")
+    if not chatty_prompt_hi < MIXED_LONG_PROMPT_THRESHOLD <= long_prompt_lo:
+        raise ValueError(
+            "class prompt ranges must straddle MIXED_LONG_PROMPT_THRESHOLD "
+            "so per-class metrics stay recoverable from the lengths"
+        )
+    rng = new_rng(seed)
+    arrivals = poisson_arrivals(num_requests, rate, rng)
+    chatty = rng.random(num_requests) < chatty_fraction
+    out: List[Request] = []
+    for a, is_chatty in zip(arrivals, chatty):
+        if is_chatty:
+            prompt = int(rng.integers(chatty_prompt_lo, chatty_prompt_hi + 1))
+            output = int(rng.integers(chatty_output_lo, chatty_output_hi + 1))
+        else:
+            prompt = int(rng.integers(long_prompt_lo, long_prompt_hi + 1))
+            output = int(rng.integers(long_output_lo, long_output_hi + 1))
+        out.append(Request(float(a), prompt, output))
+    return out
+
+
 # -- kernel-benchmark length distributions (§4.2) -----------------------------
 
 

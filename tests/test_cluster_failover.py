@@ -195,6 +195,63 @@ def test_migration_refuses_checksum_tampered_chunk():
     from repro.serving.checkpoint import SnapshotVerificationError
 
     assert issubclass(MigrationChecksumError, SnapshotVerificationError)
+
+
+def test_migration_partially_filled_last_page_roundtrips():
+    # 40 tokens at page_size=16 → 3 pages with the tail page only half
+    # full: chunk export ships whole pages, priced at full page_kv_bytes,
+    # and the partial fill survives the round trip exactly.
+    cache = PagedKVCache(64, 16, 2, 8, materialize=True, checksums=True)
+    rng = np.random.default_rng(1)
+    sid = cache.new_seq()
+    kv = rng.standard_normal((40, 2, 8)).astype(np.float32)
+    cache.append(sid, kv, kv)
+    assert cache.seq_len(sid) == 40  # not page-aligned: 40 % 16 == 8
+    live = cache.used_pages()
+    assert len(live) == 3
+    topo = Topology.preset("nvlink", world=2)
+    mig = KVMigrator(topo, FailoverConfig(chunk_pages=2))
+    received, report = mig.migrate(
+        {"t": 0.0, "cache": cache.export_state()}, t=0.0, source=0, target=1
+    )
+    assert report.pages == 3
+    assert report.chunks == 1 + 2  # control + ceil(3 / chunk_pages)
+    # Whole-page wire pricing: the half-filled tail page still costs a
+    # full page of modeled KV bytes (page granularity is the transfer
+    # unit, exactly like the allocator's).
+    assert report.wire_bytes >= 3 * cache.page_kv_bytes
+    rebuilt = PagedKVCache.from_state(received["cache"])
+    assert rebuilt.used_pages() == live
+    assert rebuilt.seq_len(sid) == 40
+    assert rebuilt.find_corrupted() == []
+
+
+def test_migration_zero_live_page_sequence_ships_control_only():
+    # A registered sequence with no tokens yet owns no pages: the
+    # migration is a single control chunk, zero page traffic — and the
+    # empty sequence is still alive and growable on the target.
+    cache = PagedKVCache(64, 16, 2, 8, materialize=True, checksums=True)
+    sid = cache.new_seq()
+    assert cache.used_pages() == []
+    topo = Topology.preset("nvlink", world=2)
+    mig = KVMigrator(topo, FailoverConfig(chunk_pages=2))
+    received, report = mig.migrate(
+        {"t": 0.0, "cache": cache.export_state()}, t=0.0, source=0, target=1
+    )
+    assert report.pages == 0
+    assert report.chunks == 1
+    assert report.retries == 0
+    assert report.wire_bytes == pytest.approx(
+        topo.link_stats()["link_migration_bytes"]
+    )
+    rebuilt = PagedKVCache.from_state(received["cache"])
+    assert rebuilt.used_pages() == []
+    assert rebuilt.seq_len(sid) == 0
+    rng = np.random.default_rng(2)
+    kv = rng.standard_normal((4, 2, 8)).astype(np.float32)
+    rebuilt.append(sid, kv, kv)
+    assert rebuilt.seq_len(sid) == 4
+    assert len(rebuilt.used_pages()) == 1
     assert issubclass(MigrationChecksumError, MigrationError)
 
 

@@ -97,37 +97,34 @@ def test_replica_crash_recovers_token_exact():
     assert s["cluster_recoveries"] == 2.0
 
 
-def test_replica_crashes_alias_is_deprecated_but_equivalent():
-    requests = sharegpt_workload(8, rate=120.0, seed=6)
+def test_replica_crashes_alias_is_removed():
+    """The deprecated ``replica_crashes=`` spelling now fails fast with a
+    TypeError that spells out the ``replica_failures=`` migration instead
+    of warning and translating."""
     cfg = ClusterConfig(dp=2, router="round-robin",
                         engine=EngineConfig(max_running=64),
                         checkpoint_every=3)
-    with pytest.deprecated_call():
-        legacy = ClusterEngine(
+    with pytest.raises(TypeError, match="replica_failures="):
+        ClusterEngine(
             MODEL, H100_80G, cfg,
             replica_crashes={0: [(3, "boundary")]},
         )
-    assert legacy.replica_failures == {0: [ReplicaFailure(3, "crash", "boundary")]}
-    modern = ClusterEngine(
-        MODEL, H100_80G, cfg,
-        replica_failures={0: ReplicaFailure(3, "crash", "boundary")},
-    )
-    legacy_tokens = [
-        t.tokens for m in legacy.run(requests).replicas for t in m.traces
-    ]
-    modern_tokens = [
-        t.tokens for m in modern.run(requests).replicas for t in m.traces
-    ]
-    assert legacy_tokens == modern_tokens
+    # The removal hint names the replacement shape, not just the kwarg.
+    with pytest.raises(TypeError, match="ReplicaFailure"):
+        ClusterEngine(
+            MODEL, H100_80G, cfg,
+            replica_crashes={0: [(3, "boundary")]},
+        )
 
 
 def test_replica_failures_and_crashes_together_is_an_error():
-    """Passing both the modern and the deprecated spelling raises instead
-    of silently merging (or dropping) one of the two failure scripts."""
+    """Passing both the modern and the removed spelling raises the same
+    removal TypeError — the removed kwarg never merges into (or silently
+    shadows) the modern failure script."""
     cfg = ClusterConfig(dp=2, router="round-robin",
                         engine=EngineConfig(max_running=64),
                         checkpoint_every=3)
-    with pytest.raises(ValueError, match="not both"):
+    with pytest.raises(TypeError, match="removed"):
         ClusterEngine(
             MODEL, H100_80G, cfg,
             replica_failures={0: ReplicaFailure(3, "crash", "boundary")},

@@ -145,8 +145,8 @@ def test_load_tracker_pressure_backpressures_loads():
 
 def test_registry_contract():
     names = available_routing_policies()
-    assert names[:5] == ("cache-aware", "least-loaded", "power-of-two",
-                         "round-robin", "session-affinity")
+    assert names[:6] == ("cache-aware", "disagg", "least-loaded",
+                         "power-of-two", "round-robin", "session-affinity")
     assert isinstance(get_routing_policy("round-robin"), RoundRobinPolicy)
     with pytest.raises(ValueError, match="unknown routing policy"):
         get_routing_policy("nope")
